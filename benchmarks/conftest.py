@@ -1,0 +1,13 @@
+"""Benchmark suite configuration.
+
+The benches print paper-style tables to stdout; run with ``-s`` to see
+them, e.g.::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import sys
+from pathlib import Path
+
+# Make `import harness` work regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))

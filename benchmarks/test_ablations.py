@@ -1,0 +1,87 @@
+"""Ablations of NetShare's design choices (DESIGN.md §4).
+
+Not a paper figure; these benches quantify the insights individually:
+
+* **chunk count M** (Insight 3): more chunks -> less total CPU via
+  warm-start fine-tuning (the paper's configurable tradeoff);
+* **numeric encoding** (Insight 2): quantile/log vs raw min-max for
+  large-support fields;
+* **port encoding** (Insight 2 / Table 2): IP2Vec vectors vs bits.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NetShare
+from repro.metrics import evaluate_fidelity
+
+import harness
+
+_RECORDS = 800
+_EPOCHS = 25
+
+
+def fit_eval(**overrides):
+    real = harness.real_trace("ugr16", _RECORDS)
+    config = harness.netshare_config(
+        "ugr16", epochs_seed=_EPOCHS,
+        epochs_fine_tune=max(3, _EPOCHS // 3), **overrides)
+    model = NetShare(config)
+    model.fit(real)
+    report = evaluate_fidelity(real, model.generate(_RECORDS, seed=1))
+    return model, report
+
+
+def test_ablation_chunk_count(benchmark):
+    print("\n=== Ablation: chunk count M (Insight 3) ===")
+    results = {}
+    for m in (1, 5):
+        model, report = fit_eval(n_chunks=m)
+        steps = sum(c.model.log.steps for c in model._chunks)
+        results[m] = (steps, model.cpu_seconds,
+                      model.wall_seconds, report.mean_jsd)
+        print(f"M={m}: steps={steps} cpu={model.cpu_seconds:.1f}s "
+              f"wall={model.wall_seconds:.1f}s "
+              f"mean JSD={report.mean_jsd:.3f}")
+    benchmark(lambda: results[5][0])
+    # The Insight-3 claim in deterministic units: chunked fine-tuning
+    # takes no more optimisation steps than monolithic training
+    # (wall-clock seconds are too load-sensitive to assert on), the
+    # modelled parallel wall time is below total CPU, and fidelity
+    # stays comparable.
+    assert results[5][0] <= results[1][0] * 1.2
+    assert results[5][2] <= results[5][1]
+    assert results[5][3] <= results[1][3] + 0.15
+
+
+def test_ablation_numeric_encoding(benchmark):
+    print("\n=== Ablation: numeric encoding (Insight 2) ===")
+    from repro.metrics import earth_movers_distance
+
+    real = harness.real_trace("ugr16", _RECORDS)
+    log_pkt_real = np.log10(1.0 + real.packets.astype(float))
+    scores = {}
+    for encoding in ("quantile", "log", "linear"):
+        _, report = fit_eval(n_chunks=2, numeric_encoding=encoding)
+        scores[encoding] = report.mean_raw_emd()
+        print(f"{encoding:<9} mean raw EMD={scores[encoding]:.1f}")
+    benchmark(lambda: scores["quantile"])
+    # Taming the support (quantile or log) beats raw min-max scaling
+    # on the continuous fields — the Insight-2 claim.
+    assert min(scores["quantile"], scores["log"]) < scores["linear"]
+
+
+def test_ablation_port_encoding(benchmark):
+    print("\n=== Ablation: port encoding (Table 2) ===")
+    results = {}
+    for encoding in ("ip2vec", "bit"):
+        _, report = fit_eval(n_chunks=2, port_encoding=encoding)
+        results[encoding] = report
+        print(f"{encoding:<7} mean JSD={report.mean_jsd:.3f} "
+              f"(DP JSD={report.jsd['DP']:.3f})")
+    benchmark(lambda: results["ip2vec"].mean_jsd)
+    # Both encodings produce valid traces; record the tradeoff rather
+    # than a winner (Table 2 rates both acceptable; the paper's vector
+    # advantage needs its training scale).
+    for report in results.values():
+        assert 0.0 <= report.mean_jsd <= 1.0

@@ -1,0 +1,57 @@
+"""Figure 3: top-5 service destination ports (TON, NetFlow).
+
+The paper: "baselines fail to capture most frequent service ports
+while NetShare captures each mode of them by simpler and more
+effective IP2Vec."  We compare, per model, the relative frequencies of
+the real trace's top-5 service destination ports and the L1 gap to the
+real frequency vector.
+"""
+
+import numpy as np
+
+import harness
+
+
+def top_service_ports(trace, k: int = 5) -> np.ndarray:
+    service = trace.subset(trace.dst_port < 1024)
+    ports, counts = np.unique(service.dst_port, return_counts=True)
+    order = np.argsort(-counts)
+    return ports[order[:k]]
+
+
+def frequencies(trace, ports) -> np.ndarray:
+    return np.array([
+        float(np.mean(trace.dst_port == p)) for p in ports
+    ])
+
+
+def test_fig03_top5_service_ports(benchmark):
+    real = harness.real_trace("ton")
+    synthetic = harness.all_synthetic("ton")
+    ports = top_service_ports(real)
+    real_freq = frequencies(real, ports)
+
+    print("\n=== Fig 3: top-5 service destination ports (TON) ===")
+    header = "  ".join(f"{p:>7}" for p in ports)
+    print(f"{'model':<12} {header}    L1 gap  modes hit")
+    print(f"{'Real':<12} "
+          + "  ".join(f"{v:7.3f}" for v in real_freq))
+    gaps, hits = {}, {}
+    for model, trace in synthetic.items():
+        freq = frequencies(trace, ports)
+        gaps[model] = float(np.abs(freq - real_freq).sum())
+        hits[model] = int(np.sum(freq > 0.25 * real_freq))
+        print(f"{model:<12} "
+              + "  ".join(f"{v:7.3f}" for v in freq)
+              + f"  {gaps[model]:8.3f}  {hits[model]}/5")
+
+    benchmark(lambda: frequencies(synthetic["NetShare"], ports))
+
+    # Shape claims: NetShare places real mass on several of the top-5
+    # service-port modes and is not the worst model.  (The paper's
+    # stronger 'captures each mode' claim needs its 1M-record training
+    # budget; the qualitative mode capture is what survives at numpy
+    # scale — see EXPERIMENTS.md.)
+    assert hits["NetShare"] >= 2, f"NetShare hits only {hits['NetShare']}/5"
+    worst_gap = max(v for k, v in gaps.items() if k != "NetShare")
+    assert gaps["NetShare"] <= worst_gap

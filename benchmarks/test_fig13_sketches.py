@@ -1,0 +1,76 @@
+"""Figure 13: heavy-hitter count estimation with sketches.
+
+Per dataset, per sketch (CMS/CS/UnivMon/NitroSketch): the relative
+error |error_syn - error_real| / error_real of heavy-hitter count
+estimation, at a fixed threshold and matched sketch memory.  The
+paper's aggregation keys: destination IP (CAIDA), source IP (DC),
+five-tuple (CA); "a baseline may be missing for a dataset if the
+baseline finds no heavy hitters according to the given threshold."
+
+Shape claims: NetShare is present (has heavy hitters) on every
+dataset and achieves smaller relative errors on average than the
+valid baselines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tasks import DATASET_HH_MODE, run_telemetry_task
+
+import harness
+
+_THRESHOLD = 0.005  # 0.1% in the paper; scaled to the bench stream size
+
+
+def run_dataset(dataset: str):
+    real = harness.real_trace(dataset)
+    synthetic = harness.all_synthetic(dataset)
+    return run_telemetry_task(
+        real, synthetic, mode=DATASET_HH_MODE[dataset],
+        threshold=_THRESHOLD, n_runs=5, scale=harness.SKETCH_SCALE,
+    )
+
+
+@pytest.mark.parametrize("dataset", ["caida", "dc", "ca"])
+def test_fig13_heavy_hitter_errors(dataset, benchmark):
+    result = run_dataset(dataset)
+    print(f"\n=== Fig 13: HH estimation relative error on "
+          f"{dataset.upper()} (key: {DATASET_HH_MODE[dataset]}) ===")
+    print(result.table())
+    print("rank correlations:", {
+        m: (None if v is None else round(v, 2))
+        for m, v in result.rank_correlation.items()
+    })
+
+    benchmark(lambda: result.real_error["CMS"])
+
+    # Structural claim (the paper's headline visual): NetShare always
+    # finds heavy hitters, so it is never 'missing' from the figure...
+    netshare_errors = result.relative_error["NetShare"]
+    assert all(v is not None for v in netshare_errors.values())
+
+    # ...while the per-packet baselines (random per-row five-tuples)
+    # produce no heavy hitters and drop out.
+    missing_models = [
+        model for model, per_sketch in result.relative_error.items()
+        if all(v is None for v in per_sketch.values())
+    ]
+    assert len(missing_models) >= 2, (
+        f"expected several missing baselines, got {missing_models}"
+    )
+
+    # Magnitudes are reported, not asserted: at numpy scale NetShare's
+    # generated IP *cardinality* mismatch inflates sketch pressure and
+    # the relative errors with it (EXPERIMENTS.md discusses the gap
+    # with the paper's 48%-smaller-error result).
+    netshare_mean = np.mean(list(netshare_errors.values()))
+    baseline_cells = [
+        v
+        for model, per_sketch in result.relative_error.items()
+        if model != "NetShare"
+        for v in per_sketch.values()
+        if v is not None
+    ]
+    if baseline_cells:
+        print(f"mean relative error: NetShare={netshare_mean:.2f} "
+              f"valid baseline cells={np.mean(baseline_cells):.2f}")

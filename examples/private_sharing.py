@@ -1,0 +1,71 @@
+"""Scenario: differentially-private trace sharing with post-hoc
+privacy extensions.
+
+Demonstrates the paper's privacy machinery end to end (Insight 4 + §5):
+
+1. pre-train the GAN on a *public* trace, then fine-tune on the
+   private trace with DP-SGD, tracking (epsilon, delta) with the RDP
+   accountant;
+2. apply the two optional §5 extensions to the generated trace —
+   remap synthetic IPs into the 10.0.0.0/8 private range and retrain
+   the protocol attribute to a user-chosen distribution;
+3. export the shareable trace.
+
+Run:  python examples/private_sharing.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import NetShare, NetShareConfig, load_dataset
+from repro.datasets import int_to_ip, write_flow_csv
+from repro.metrics import evaluate_fidelity
+from repro.privacy import DpSgdConfig, retrain_attribute, transform_ips
+
+
+def main():
+    print("=== Differentially-private trace sharing ===")
+    private = load_dataset("ugr16", n_records=600, seed=0)
+    print(f"Private trace: {len(private)} records")
+
+    config = NetShareConfig(
+        n_chunks=1,
+        epochs_seed=4,
+        epochs_fine_tune=4,
+        batch_size=16,
+        seed=0,
+        # DP-SGD fine-tuning from a public pre-trained model (Insight 4).
+        dp=DpSgdConfig(clip_norm=1.0, noise_multiplier=1.2, delta=1e-5),
+        dp_public_dataset="ugr16",
+        dp_public_records=400,
+        dp_public_epochs=10,
+    )
+    print("\nPre-training on public data, DP fine-tuning on private data...")
+    model = NetShare(config)
+    model.fit(private)
+    print(f"  privacy spent: epsilon = {model.spent_epsilon:.2f} "
+          f"at delta = {config.dp.delta:g}")
+
+    synthetic = model.generate(600, seed=1)
+    report = evaluate_fidelity(private, synthetic)
+    print(f"  DP synthetic fidelity: mean JSD = {report.mean_jsd:.3f}")
+
+    print("\nApplying §5 privacy extensions:")
+    shared = transform_ips(synthetic, "10.0.0.0", prefix_len=8, seed=2)
+    sample = [int_to_ip(v) for v in shared.src_ip[:3]]
+    print(f"  IPs remapped into 10.0.0.0/8 (e.g. {', '.join(sample)})")
+
+    shared = retrain_attribute(shared, "protocol", {6: 0.8, 17: 0.2}, seed=3)
+    tcp_share = float((shared.protocol == 6).mean())
+    print(f"  protocol retrained to 80/20 TCP/UDP "
+          f"(achieved {tcp_share:.0%} TCP)")
+
+    out = Path(tempfile.gettempdir()) / "netshare_private_share.csv"
+    write_flow_csv(shared, out)
+    print(f"\nShareable DP trace written to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Scenario: Table 1's sharing trade-offs, measured empirically.
+
+The paper's Table 1 qualitatively compares sharing **raw**,
+**anonymized**, and **synthetic** traces on fidelity, flexibility,
+privacy, and effort.  This example quantifies the comparison on one
+workload:
+
+* *fidelity*: per-field JSD/EMD of each shared variant vs the raw data;
+* *privacy*: identity leakage — the share of raw source IPs exposed —
+  plus a membership-inference attack against the synthetic data;
+* *flexibility*: only the synthetic route can generate more data.
+
+Run:  python examples/sharing_tradeoffs.py
+"""
+
+import numpy as np
+
+from repro import NetShare, NetShareConfig, load_dataset
+from repro.datasets import anonymize_trace
+from repro.metrics import evaluate_fidelity
+from repro.privacy import membership_inference_attack
+
+
+def identity_leak(raw, shared) -> float:
+    """Fraction of raw source IPs that appear verbatim in the shared
+    trace (1.0 = identities fully exposed)."""
+    raw_ips = set(raw.src_ip.tolist())
+    shared_ips = set(shared.src_ip.tolist())
+    return len(raw_ips & shared_ips) / len(raw_ips)
+
+
+def main():
+    print("=== Table 1: raw vs anonymized vs synthetic sharing ===")
+    raw = load_dataset("ugr16", n_records=1000, seed=0)
+    holdout = load_dataset("ugr16", n_records=1000, seed=99)
+
+    print("\nPreparing the three shared variants...")
+    anonymized = anonymize_trace(raw, method="prefix")
+    truncated = anonymize_trace(raw, method="truncate", keep_bits=16)
+    model = NetShare(NetShareConfig(n_chunks=3, epochs_seed=30,
+                                    epochs_fine_tune=10, seed=0))
+    model.fit(raw)
+    synthetic = model.generate(1000, seed=1)
+
+    variants = {
+        "raw": raw,
+        "anonymized (prefix)": anonymized,
+        "anonymized (/16)": truncated,
+        "synthetic (NetShare)": synthetic,
+    }
+    print(f"\n{'shared variant':<22} {'mean JSD':>9} {'IP leak':>9}")
+    for name, trace in variants.items():
+        report = evaluate_fidelity(raw, trace)
+        leak = identity_leak(raw, trace)
+        print(f"{name:<22} {report.mean_jsd:9.3f} {leak:9.1%}")
+
+    attack = membership_inference_attack(raw, holdout, synthetic)
+    print(f"\nmembership attack on synthetic data: AUC={attack.auc:.2f} "
+          f"({'leaks' if attack.leaks else 'no significant leakage'})")
+
+    more = model.generate(5000, seed=2)
+    print(f"flexibility: synthetic route generated {len(more)} extra "
+          "records on demand; raw/anonymized routes cannot.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Scenario: training attack classifiers on synthetic labelled NetFlow.
+
+The paper's second motivating use case (§2.1): researchers developing
+ML models for traffic-type prediction need labelled flow data they
+cannot access.  This example trains NetShare on a TON_IoT-style
+labelled trace (65% benign, nine attack families), generates synthetic
+flows, trains the paper's five classifiers (DT/LR/RF/GB/MLP) on the
+synthetic data, and tests them on held-out *real* flows — the Fig 12
+setup.
+
+Run:  python examples/traffic_classification.py
+"""
+
+from repro import NetShare, NetShareConfig, load_dataset
+from repro.datasets import ATTACK_TYPES
+from repro.tasks import run_prediction_task
+
+
+def main():
+    print("=== Traffic-type prediction from synthetic data ===")
+    real = load_dataset("ton", n_records=1500, seed=0)
+    attack_names = sorted(
+        {ATTACK_TYPES[int(a)] for a in real.attack_type if a != 0}
+    )
+    print(f"Real TON-style trace: {len(real)} flows, "
+          f"{(real.label == 1).mean():.0%} attack traffic")
+    print(f"Attack families: {', '.join(attack_names)}")
+
+    print("\nTraining NetShare on the labelled trace...")
+    model = NetShare(NetShareConfig(
+        n_chunks=3, epochs_seed=30, epochs_fine_tune=10, seed=0))
+    model.fit(real)
+    synthetic = model.generate(1500, seed=1)
+    print(f"Generated {len(synthetic)} synthetic flows "
+          f"({(synthetic.label == 1).mean():.0%} attack)")
+
+    print("\nClassifier accuracy (train on synthetic, test on real "
+          "later-time split):")
+    result = run_prediction_task(real, {"NetShare": synthetic})
+    print(f"{'classifier':<12} {'real->real':>12} {'synth->real':>12}")
+    for name, real_acc in sorted(result.real_accuracy.items()):
+        syn_acc = result.synthetic_accuracy["NetShare"][name]
+        print(f"{name:<12} {real_acc:12.3f} {syn_acc:12.3f}")
+    rho = result.rank_correlation["NetShare"]
+    print(f"\nSpearman rank correlation of classifier ordering: {rho:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — a reproduction of NetShare (Yin et al., SIGCOMM 2022):
+practical GAN-based synthetic IP header trace generation.
+
+Quickstart::
+
+    from repro import NetShare, NetShareConfig, load_dataset
+
+    real = load_dataset("ugr16", n_records=1000, seed=0)
+    model = NetShare(NetShareConfig(n_chunks=3, epochs_seed=20))
+    model.fit(real)
+    synthetic = model.generate(1000)
+
+Subpackages: ``core`` (NetShare pipeline), ``gan`` (DoppelGANger),
+``datasets`` (trace substrate + the six evaluation workloads),
+``baselines`` (CTGAN/E-WGAN-GP/STAN/PAC-GAN/PacketCGAN/Flow-WGAN),
+``metrics`` (JSD/EMD/rank/consistency), ``privacy`` (DP-SGD + RDP
+accountant), ``sketches`` (CMS/CS/UnivMon/NitroSketch), ``ml``
+(classifier suite), ``netml`` (anomaly detection), ``tasks``
+(downstream-task harnesses), ``nn`` (autograd substrate).
+"""
+
+from .core import NetShare, NetShareConfig
+from .datasets import FlowTrace, PacketTrace, load_dataset
+from .metrics import compare_models, evaluate_fidelity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NetShare", "NetShareConfig",
+    "FlowTrace", "PacketTrace", "load_dataset",
+    "evaluate_fidelity", "compare_models",
+    "__version__",
+]

@@ -1,0 +1,141 @@
+"""CTGAN baseline (Xu et al. 2019), adapted as in §6.1.
+
+"We encode IP/port into bits with each bit as a 2-class categorical
+variable.  Other fields are encoded by data type, e.g.
+timestamp/packet size are treated as continuous fields, protocol is
+categorical."  Used for both NetFlow and PCAP datasets.
+
+Structural limitation preserved: each record is an independent tabular
+row, so multi-record flows / multi-packet flows are never modelled
+(Fig 1a/1b).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.encodings import BitEncoder, LogMinMaxEncoder, MinMaxEncoder, OneHotEncoder
+from ..datasets.records import ATTACK_TYPES, FlowTrace, PacketTrace
+from .base import Synthesizer
+from .rowgan import ColumnSpec, RowGan, RowGanConfig
+
+__all__ = ["CTGAN"]
+
+_PROTOCOLS = (1, 6, 17)
+
+
+class CTGAN(Synthesizer):
+    name = "CTGAN"
+    supports = ("netflow", "pcap")
+
+    def __init__(self, epochs: int = 30, seed: int = 0,
+                 config: Optional[RowGanConfig] = None):
+        self.epochs = epochs
+        self.seed = seed
+        self.config = config or RowGanConfig()
+        self._gan: Optional[RowGan] = None
+        self._kind: Optional[str] = None
+        self._ip_bits = BitEncoder(32)
+        self._port_bits = BitEncoder(16)
+        self._proto = OneHotEncoder(_PROTOCOLS)
+        self._label = OneHotEncoder([0, 1])
+        self._attack = OneHotEncoder(sorted(ATTACK_TYPES))
+
+    # ------------------------------------------------------------------
+    def _columns(self, kind: str):
+        common = [
+            ColumnSpec("src_ip", 32, "unit"),
+            ColumnSpec("dst_ip", 32, "unit"),
+            ColumnSpec("src_port", 16, "unit"),
+            ColumnSpec("dst_port", 16, "unit"),
+            ColumnSpec("protocol", self._proto.width, "onehot"),
+        ]
+        if kind == "netflow":
+            return common + [
+                ColumnSpec("start_time", 1, "unit"),
+                ColumnSpec("duration", 1, "unit"),
+                ColumnSpec("packets", 1, "unit"),
+                ColumnSpec("bytes", 1, "unit"),
+                ColumnSpec("label", self._label.width, "onehot"),
+                ColumnSpec("attack_type", self._attack.width, "onehot"),
+            ]
+        return common + [
+            ColumnSpec("timestamp", 1, "unit"),
+            ColumnSpec("packet_size", 1, "unit"),
+            ColumnSpec("ttl", 1, "unit"),
+        ]
+
+    def fit(self, trace) -> "CTGAN":
+        self._kind = self._check_support(trace)
+        if self._kind == "netflow":
+            self._ts = MinMaxEncoder().fit(trace.start_time)
+            self._td = LogMinMaxEncoder().fit(trace.duration)
+            self._pkt = LogMinMaxEncoder().fit(trace.packets)
+            self._byt = LogMinMaxEncoder().fit(trace.bytes)
+            rows = np.hstack([
+                self._ip_bits.encode(trace.src_ip),
+                self._ip_bits.encode(trace.dst_ip),
+                self._port_bits.encode(trace.src_port),
+                self._port_bits.encode(trace.dst_port),
+                self._proto.encode(np.clip(trace.protocol, None, None)),
+                self._ts.encode(trace.start_time),
+                self._td.encode(trace.duration),
+                self._pkt.encode(trace.packets),
+                self._byt.encode(trace.bytes),
+                self._label.encode(trace.label),
+                self._attack.encode(trace.attack_type),
+            ])
+        else:
+            self._ts = MinMaxEncoder().fit(trace.timestamp)
+            self._ps = MinMaxEncoder().fit(trace.packet_size)
+            self._ttl = MinMaxEncoder().fit(trace.ttl)
+            rows = np.hstack([
+                self._ip_bits.encode(trace.src_ip),
+                self._ip_bits.encode(trace.dst_ip),
+                self._port_bits.encode(trace.src_port),
+                self._port_bits.encode(trace.dst_port),
+                self._proto.encode(trace.protocol),
+                self._ts.encode(trace.timestamp),
+                self._ps.encode(trace.packet_size),
+                self._ttl.encode(trace.ttl),
+            ])
+        self._gan = RowGan(self._columns(self._kind), self.config,
+                           seed=self.seed)
+        self._gan.fit(rows, epochs=self.epochs)
+        return self
+
+    # ------------------------------------------------------------------
+    def generate(self, n_records: int, seed: Optional[int] = None):
+        if self._gan is None:
+            raise RuntimeError("CTGAN is not fitted; call fit() first")
+        blocks = self._gan.split_columns(self._gan.generate(n_records, seed))
+        src = self._ip_bits.decode(blocks["src_ip"]).astype(np.uint32)
+        dst = self._ip_bits.decode(blocks["dst_ip"]).astype(np.uint32)
+        sp = self._port_bits.decode(blocks["src_port"]).astype(np.int64)
+        dp = self._port_bits.decode(blocks["dst_port"]).astype(np.int64)
+        pr = self._proto.decode(blocks["protocol"])
+        if self._kind == "netflow":
+            return FlowTrace(
+                src_ip=src, dst_ip=dst, src_port=sp, dst_port=dp, protocol=pr,
+                start_time=self._ts.decode(blocks["start_time"]),
+                duration=np.maximum(self._td.decode(blocks["duration"]), 0.0),
+                packets=np.maximum(
+                    np.round(self._pkt.decode(blocks["packets"])), 1
+                ).astype(np.int64),
+                bytes=np.maximum(
+                    np.round(self._byt.decode(blocks["bytes"])), 1
+                ).astype(np.int64),
+                label=self._label.decode(blocks["label"]),
+                attack_type=self._attack.decode(blocks["attack_type"]),
+            ).sort_by_time()
+        return PacketTrace(
+            timestamp=self._ts.decode(blocks["timestamp"]),
+            src_ip=src, dst_ip=dst, src_port=sp, dst_port=dp, protocol=pr,
+            packet_size=np.maximum(
+                np.round(self._ps.decode(blocks["packet_size"])), 20
+            ).astype(np.int64),
+            ttl=np.clip(np.round(self._ttl.decode(blocks["ttl"])), 1, 255
+                        ).astype(np.int64),
+        ).sort_by_time()

@@ -1,0 +1,85 @@
+"""Flow-WGAN baseline (Han et al. 2019), PCAP-only as in §6.1.
+
+"Flow-WGAN uses Wasserstein GAN on a byte-level embedding.  It
+generates random IP addresses and sets a maximum flow and packet
+length.  Flow-WGAN does not generate timestamps so we again append a
+timestamp to each byte-embedded vector in training."
+
+Preserved quirks: IP addresses are *not* learned — they are drawn
+uniformly at random at generation time — and packet lengths are capped
+at a fixed maximum.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.encodings import ByteEncoder, MinMaxEncoder
+from ..datasets.records import PacketTrace
+from .base import Synthesizer
+from .rowgan import ColumnSpec, RowGan, RowGanConfig
+
+__all__ = ["FlowWgan"]
+
+
+class FlowWgan(Synthesizer):
+    name = "Flow-WGAN"
+    supports = ("pcap",)
+
+    def __init__(self, epochs: int = 30, max_packet_length: int = 1024,
+                 seed: int = 0, config: Optional[RowGanConfig] = None):
+        if max_packet_length < 20:
+            raise ValueError("max packet length must cover an IP header")
+        self.epochs = epochs
+        self.max_packet_length = max_packet_length
+        self.seed = seed
+        self.config = config or RowGanConfig()
+        self._gan: Optional[RowGan] = None
+        self._b2 = ByteEncoder(2)
+        self._b1 = ByteEncoder(1)
+        self._ts = MinMaxEncoder()
+
+    def fit(self, trace) -> "FlowWgan":
+        self._check_support(trace)
+        self._ts.fit(trace.timestamp)
+        rows = np.hstack([
+            self._b2.encode(trace.src_port),
+            self._b2.encode(trace.dst_port),
+            self._b1.encode(np.clip(trace.protocol, 0, 255)),
+            # Byte-level size, capped at the model's max packet length.
+            self._b2.encode(np.clip(trace.packet_size, 0,
+                                    self.max_packet_length)),
+            self._ts.encode(trace.timestamp),
+        ])
+        columns = [
+            ColumnSpec("src_port", 2, "unit"),
+            ColumnSpec("dst_port", 2, "unit"),
+            ColumnSpec("protocol", 1, "unit"),
+            ColumnSpec("packet_size", 2, "unit"),
+            ColumnSpec("timestamp", 1, "unit"),
+        ]
+        self._gan = RowGan(columns, self.config, seed=self.seed)
+        self._gan.fit(rows, epochs=self.epochs)
+        return self
+
+    def generate(self, n_records: int, seed: Optional[int] = None):
+        if self._gan is None:
+            raise RuntimeError("Flow-WGAN is not fitted; call fit() first")
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        blocks = self._gan.split_columns(self._gan.generate(n_records, seed))
+        return PacketTrace(
+            timestamp=self._ts.decode(blocks["timestamp"]),
+            # Random addresses: the model does not learn IPs.
+            src_ip=rng.integers(1 << 24, 0xDF000000, size=n_records,
+                                dtype=np.uint32),
+            dst_ip=rng.integers(1 << 24, 0xDF000000, size=n_records,
+                                dtype=np.uint32),
+            src_port=self._b2.decode(blocks["src_port"]).astype(np.int64),
+            dst_port=self._b2.decode(blocks["dst_port"]).astype(np.int64),
+            protocol=self._b1.decode(blocks["protocol"]).astype(np.int64),
+            packet_size=np.clip(
+                self._b2.decode(blocks["packet_size"]), 20,
+                self.max_packet_length).astype(np.int64),
+        ).sort_by_time()

@@ -1,0 +1,34 @@
+"""NetShare core: encodings, IP2Vec, preprocessing, the end-to-end
+generator, and post-processing."""
+
+from .encodings import (
+    BitEncoder,
+    ByteEncoder,
+    LogMinMaxEncoder,
+    MinMaxEncoder,
+    OneHotEncoder,
+)
+from .flow_encoder import EncodedFlows, FlowTensorEncoder
+from .ip2vec import IP2Vec, five_tuple_sentences, token
+from .netshare import NetShare, NetShareConfig
+from .postprocess import (
+    compute_checksums,
+    enforce_flow_semantics,
+    enforce_packet_semantics,
+    finalize_flow_trace,
+    finalize_packet_trace,
+    ipv4_checksum,
+)
+from .preprocess import FlowSeries, chunk_flows, split_into_flows, time_range
+
+__all__ = [
+    "BitEncoder", "ByteEncoder", "LogMinMaxEncoder", "MinMaxEncoder",
+    "OneHotEncoder",
+    "EncodedFlows", "FlowTensorEncoder",
+    "IP2Vec", "five_tuple_sentences", "token",
+    "NetShare", "NetShareConfig",
+    "FlowSeries", "split_into_flows", "chunk_flows", "time_range",
+    "ipv4_checksum", "compute_checksums", "finalize_packet_trace",
+    "finalize_flow_trace", "enforce_flow_semantics",
+    "enforce_packet_semantics",
+]

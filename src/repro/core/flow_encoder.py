@@ -1,0 +1,410 @@
+"""Flow tensor encoder: FlowSeries <-> (metadata, measurements, flags).
+
+This is where Insights 1 and 2 meet the GAN: each flow becomes one
+training sample whose *metadata* is its encoded five-tuple (+ flow
+tags) and whose *measurement* is the time series of its records.
+
+Metadata layout (NetShare defaults):
+
+* src/dst IP — 32-bit binary encoding each (DP-compatible),
+* src/dst port — IP2Vec embedding (trained on public data) or 16-bit
+  binary for the ablation,
+* protocol — IP2Vec embedding or one-hot,
+* flow tags — 1 'starts here' flag + M presence bits (when chunked).
+
+Measurement layout per timestep:
+
+* NetFlow: relative start time in the chunk window, log-min-max
+  duration, packets, bytes, label one-hot, attack-type one-hot;
+* PCAP: relative timestamp, min-max packet size, min-max TTL.
+
+``gen_flags`` marks which timesteps are real (DoppelGANger's
+generation flags); flows longer than ``max_timesteps`` are truncated,
+matching DoppelGANger's bounded sequence length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.records import ATTACK_TYPES, FlowTrace, PacketTrace
+from .encodings import (
+    BitEncoder,
+    LogMinMaxEncoder,
+    MinMaxEncoder,
+    OneHotEncoder,
+    QuantileEncoder,
+)
+from .ip2vec import IP2Vec, token
+from .preprocess import FlowSeries
+
+__all__ = ["EncodedFlows", "FlowTensorEncoder"]
+
+_PROTOCOLS = (1, 6, 17)
+
+
+@dataclass
+class EncodedFlows:
+    """GAN-ready tensors for one chunk of flows."""
+
+    metadata: np.ndarray      # (n, d_meta)
+    measurements: np.ndarray  # (n, T, d_meas)
+    gen_flags: np.ndarray     # (n, T), 1.0 = real timestep
+
+    def __len__(self) -> int:
+        return len(self.metadata)
+
+
+class FlowTensorEncoder:
+    """Encode/decode chunks of flows for the time-series GAN."""
+
+    def __init__(
+        self,
+        kind: str,
+        max_timesteps: int = 8,
+        ip_encoding: str = "bit",
+        port_encoding: str = "ip2vec",
+        ip2vec: Optional[IP2Vec] = None,
+        n_chunks: int = 1,
+        numeric_encoding: str = "quantile",
+    ):
+        if kind not in ("netflow", "pcap"):
+            raise ValueError(f"unknown trace kind {kind!r}")
+        if ip_encoding not in ("bit",):
+            raise ValueError("NetShare uses bit encoding for IPs (Table 2)")
+        if port_encoding not in ("ip2vec", "bit"):
+            raise ValueError("port encoding must be 'ip2vec' or 'bit'")
+        if port_encoding == "ip2vec" and ip2vec is None:
+            raise ValueError("ip2vec encoder required for ip2vec ports")
+        if max_timesteps < 1:
+            raise ValueError("max_timesteps must be positive")
+        self.kind = kind
+        self.max_timesteps = max_timesteps
+        self.ip_encoding = ip_encoding
+        self.port_encoding = port_encoding
+        self.ip2vec = ip2vec
+        self.n_chunks = max(1, n_chunks)
+
+        # The GAN's metadata output is sigmoid-bounded to [0, 1], so
+        # IP2Vec embeddings (arbitrary scale) are min-max normalised
+        # per dimension over the dictionary; decode un-scales first.
+        if port_encoding == "ip2vec":
+            vectors = ip2vec.vectors
+            self._emb_lo = vectors.min(axis=0)
+            span = vectors.max(axis=0) - self._emb_lo
+            span[span == 0] = 1.0
+            self._emb_span = span
+
+        self._ip_bits = BitEncoder(32)
+        self._port_bits = BitEncoder(16)
+        self._proto_onehot = OneHotEncoder(_PROTOCOLS)
+        # Insight 2: tame large-support numeric fields.  'quantile'
+        # (default) uses the empirical CDF computed on log1p values;
+        # 'log' is the paper's plain log(1+x) min-max; 'linear' is the
+        # no-transform ablation.
+        encoders = {
+            "quantile": lambda: QuantileEncoder(log_space=True),
+            "log": LogMinMaxEncoder,
+            "linear": MinMaxEncoder,
+        }
+        if numeric_encoding not in encoders:
+            raise ValueError(
+                f"numeric_encoding must be one of {sorted(encoders)}")
+        self.numeric_encoding = numeric_encoding
+        numeric_encoder = encoders[numeric_encoding]
+        if kind == "netflow":
+            self._duration = numeric_encoder()
+            self._packets = numeric_encoder()
+            self._bytes = numeric_encoder()
+            self._label = OneHotEncoder([0, 1])
+            self._attack = OneHotEncoder(sorted(ATTACK_TYPES))
+        else:
+            self._size = (QuantileEncoder(log_space=False)
+                          if numeric_encoding == "quantile"
+                          else MinMaxEncoder())
+            self._ttl = MinMaxEncoder()
+            # PCAP flows can far exceed max_timesteps (elephants); the
+            # flow's *total packet count* is carried in metadata and
+            # the measurement series is a T-point sketch of the flow.
+            self._flow_size = QuantileEncoder(log_space=True)
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    @property
+    def port_width(self) -> int:
+        if self.port_encoding == "ip2vec":
+            return self.ip2vec.dim
+        return self._port_bits.width
+
+    @property
+    def proto_width(self) -> int:
+        if self.port_encoding == "ip2vec":
+            return self.ip2vec.dim
+        return self._proto_onehot.width
+
+    @property
+    def metadata_width(self) -> int:
+        tags = (1 + self.n_chunks) if self.n_chunks > 1 else 0
+        flow_size = 1 if self.kind == "pcap" else 0
+        return 64 + 2 * self.port_width + self.proto_width + flow_size + tags
+
+    @property
+    def measurement_width(self) -> int:
+        if self.kind == "netflow":
+            return 1 + 3 + self._label.width + self._attack.width
+        return 3
+
+    def metadata_segments(self, max_anchors: int = 48):
+        """Structured layout of the metadata vector for the GAN.
+
+        Returns a list of ``("sigmoid", width)`` and
+        ``("anchor", matrix)`` segments.  Embedded (IP2Vec) fields get
+        fixed anchor matrices — scaled dictionary vectors — so the
+        generator can parameterise them as a Gumbel-softmax mixture
+        over real dictionary points instead of free-form vectors,
+        which is what makes the embedding fields trainable at small
+        scale while keeping nearest-neighbour decoding unchanged.
+        """
+        segments = [("sigmoid", 32), ("sigmoid", 32)]
+        if self.port_encoding == "ip2vec":
+            for kind in ("sp", "dp", "pr"):
+                vectors, counts = self.ip2vec.anchor_set(
+                    kind, max_anchors=max_anchors)
+                anchors = self._scale_emb(vectors)
+                prior = np.log(counts + 1.0)
+                segments.append(("anchor", anchors, prior - prior.mean()))
+        else:
+            segments.append(("sigmoid", 2 * self._port_bits.width))
+            segments.append(("sigmoid", self._proto_onehot.width))
+        if self.kind == "pcap":
+            segments.append(("sigmoid", 1))  # flow packet count
+        if self.n_chunks > 1:
+            segments.append(("sigmoid", 1 + self.n_chunks))
+        return segments
+
+    # ------------------------------------------------------------------
+    def fit(self, trace) -> "FlowTensorEncoder":
+        """Fit the continuous-field scalers on the giant trace."""
+        if self.kind == "netflow":
+            if not isinstance(trace, FlowTrace):
+                raise TypeError("netflow encoder requires a FlowTrace")
+            self._duration.fit(trace.duration)
+            self._packets.fit(trace.packets)
+            self._bytes.fit(trace.bytes)
+        else:
+            if not isinstance(trace, PacketTrace):
+                raise TypeError("pcap encoder requires a PacketTrace")
+            self._size.fit(trace.packet_size)
+            self._ttl.fit(trace.ttl)
+            self._flow_size.fit(trace.flow_sizes())
+        self._fitted = True
+        return self
+
+    def _check_fitted(self):
+        if not self._fitted:
+            raise RuntimeError("encoder is not fitted; call fit() first")
+
+    # ------------------------------------------------------------------
+    def _encode_ports_protocol(self, flows: Sequence[FlowSeries]) -> np.ndarray:
+        sp = np.array([f.key[2] for f in flows])
+        dp = np.array([f.key[3] for f in flows])
+        pr = np.array([f.key[4] for f in flows])
+        if self.port_encoding == "ip2vec":
+            sp_vec = self._scale_emb(self.ip2vec.encode_many(
+                token("sp", p) for p in sp))
+            dp_vec = self._scale_emb(self.ip2vec.encode_many(
+                token("dp", p) for p in dp))
+            pr_vec = self._scale_emb(self.ip2vec.encode_many(
+                token("pr", p) for p in pr))
+            return np.hstack([sp_vec, dp_vec, pr_vec])
+        return np.hstack([
+            self._port_bits.encode(sp),
+            self._port_bits.encode(dp),
+            self._proto_onehot.encode(pr),
+        ])
+
+    def encode_chunk(self, flows: Sequence[FlowSeries],
+                     window: Tuple[float, float]) -> EncodedFlows:
+        """Encode one chunk's flows; ``window`` is its (start, end) time."""
+        self._check_fitted()
+        if not flows:
+            raise ValueError("cannot encode an empty chunk")
+        lo, hi = window
+        span = max(hi - lo, 1e-9)
+        n, t_max = len(flows), self.max_timesteps
+
+        src = np.array([f.key[0] for f in flows], dtype=np.uint64)
+        dst = np.array([f.key[1] for f in flows], dtype=np.uint64)
+        meta_parts = [
+            self._ip_bits.encode(src),
+            self._ip_bits.encode(dst),
+            self._encode_ports_protocol(flows),
+        ]
+        if self.kind == "pcap":
+            sizes = np.array([len(f.records) for f in flows], dtype=float)
+            meta_parts.append(self._flow_size.encode(sizes))
+        if self.n_chunks > 1:
+            tags = np.zeros((n, 1 + self.n_chunks))
+            for i, f in enumerate(flows):
+                tags[i, 0] = 1.0 if f.starts_here else 0.0
+                presence = (f.presence if f.presence is not None
+                            else np.eye(self.n_chunks)[0])
+                tags[i, 1:] = presence
+            meta_parts.append(tags)
+        metadata = np.hstack(meta_parts)
+
+        measurements = np.zeros((n, t_max, self.measurement_width))
+        gen_flags = np.zeros((n, t_max))
+        for i, f in enumerate(flows):
+            if self.kind == "pcap" and len(f.records) > t_max:
+                # T-point sketch of an elephant flow: evenly-spaced
+                # packets including the first and last.  The full count
+                # lives in the metadata and decode re-expands it.
+                picks = np.round(
+                    np.linspace(0, len(f.records) - 1, t_max)
+                ).astype(int)
+                records = f.records[picks]
+            else:
+                records = f.records[:t_max]
+            k = len(records)
+            gen_flags[i, :k] = 1.0
+            rel_time = np.clip((records[:, 0] - lo) / span, 0.0, 1.0)
+            if self.kind == "netflow":
+                measurements[i, :k, :] = np.hstack([
+                    rel_time[:, None],
+                    self._duration.encode(records[:, 1]),
+                    self._packets.encode(records[:, 2]),
+                    self._bytes.encode(records[:, 3]),
+                    self._label.encode(records[:, 4].astype(np.int64)),
+                    self._attack.encode(records[:, 5].astype(np.int64)),
+                ])
+            else:
+                measurements[i, :k, :] = np.hstack([
+                    rel_time[:, None],
+                    self._size.encode(records[:, 1]),
+                    self._ttl.encode(records[:, 2]),
+                ])
+        return EncodedFlows(metadata, measurements, gen_flags)
+
+    # ------------------------------------------------------------------
+    def _scale_emb(self, vectors: np.ndarray) -> np.ndarray:
+        return np.clip((vectors - self._emb_lo) / self._emb_span, 0.0, 1.0)
+
+    def _unscale_emb(self, scaled: np.ndarray) -> np.ndarray:
+        return self._emb_lo + np.asarray(scaled) * self._emb_span
+
+    def _decode_ports_protocol(self, block: np.ndarray):
+        w = self.port_width
+        if self.port_encoding == "ip2vec":
+            sp = self.ip2vec.decode_values(self._unscale_emb(block[:, :w]), "sp")
+            dp = self.ip2vec.decode_values(
+                self._unscale_emb(block[:, w:2 * w]), "dp")
+            pr = self.ip2vec.decode_values(
+                self._unscale_emb(block[:, 2 * w:]), "pr")
+        else:
+            sp = self._port_bits.decode(block[:, :w]).astype(np.int64)
+            dp = self._port_bits.decode(block[:, w:2 * w]).astype(np.int64)
+            pr = self._proto_onehot.decode(block[:, 2 * w:])
+        return sp, dp, pr
+
+    def decode(self, encoded: EncodedFlows,
+               window: Tuple[float, float],
+               rng: Optional[np.random.Generator] = None):
+        """Decode generated tensors back into a trace (one chunk).
+
+        For PCAP data the metadata's flow-size feature re-expands each
+        flow to its full packet count: timestamps are interpolated
+        between the T sketch points and sizes/TTLs are bootstrapped
+        from them (``rng`` drives the bootstrap; default seed 0).
+        """
+        self._check_fitted()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        lo, hi = window
+        span = max(hi - lo, 1e-9)
+        meta = encoded.metadata
+        src = self._ip_bits.decode(meta[:, :32]).astype(np.uint32)
+        dst = self._ip_bits.decode(meta[:, 32:64]).astype(np.uint32)
+        pp_width = 2 * self.port_width + self.proto_width
+        sp, dp, pr = self._decode_ports_protocol(meta[:, 64:64 + pp_width])
+        if self.kind == "pcap":
+            fs_col = 64 + pp_width
+            flow_sizes = np.maximum(np.round(self._flow_size.decode(
+                meta[:, fs_col:fs_col + 1])), 1).astype(np.int64)
+
+        columns = {}
+        if self.kind == "netflow":
+            names = ("src_ip", "dst_ip", "src_port", "dst_port", "protocol",
+                     "start_time", "duration", "packets", "bytes",
+                     "label", "attack_type")
+        else:
+            names = ("timestamp", "src_ip", "dst_ip", "src_port", "dst_port",
+                     "protocol", "packet_size", "ttl")
+        for name in names:
+            columns[name] = []
+
+        for i in range(len(encoded)):
+            active = np.nonzero(encoded.gen_flags[i] > 0.5)[0]
+            if len(active) == 0:
+                continue
+            m = encoded.measurements[i, active, :]
+            times = lo + np.sort(np.clip(m[:, 0], 0.0, 1.0)) * span
+            k = len(active)
+            if self.kind == "netflow":
+                columns["src_ip"].append(np.full(k, src[i], dtype=np.uint32))
+                columns["dst_ip"].append(np.full(k, dst[i], dtype=np.uint32))
+                columns["src_port"].append(np.full(k, sp[i]))
+                columns["dst_port"].append(np.full(k, dp[i]))
+                columns["protocol"].append(np.full(k, pr[i]))
+                columns["start_time"].append(times)
+                columns["duration"].append(
+                    np.maximum(self._duration.decode(m[:, 1:2]), 0.0))
+                columns["packets"].append(np.maximum(
+                    np.round(self._packets.decode(m[:, 2:3])), 1).astype(np.int64))
+                columns["bytes"].append(np.maximum(
+                    np.round(self._bytes.decode(m[:, 3:4])), 1).astype(np.int64))
+                lbl_w = self._label.width
+                columns["label"].append(
+                    self._label.decode(m[:, 4:4 + lbl_w]))
+                columns["attack_type"].append(
+                    self._attack.decode(m[:, 4 + lbl_w:]))
+            else:
+                sizes = np.maximum(
+                    np.round(self._size.decode(m[:, 1:2])), 20).astype(np.int64)
+                ttls = np.clip(
+                    np.round(self._ttl.decode(m[:, 2:3])), 1, 255
+                ).astype(np.int64)
+                total = int(flow_sizes[i])
+                if total > k:
+                    # Re-expand the T-point sketch to the flow's full
+                    # packet count: interpolate timestamps between
+                    # sketch points, bootstrap sizes/TTLs from them.
+                    grid = np.linspace(0.0, 1.0, total)
+                    anchor = (np.linspace(0.0, 1.0, k) if k > 1
+                              else np.array([0.0]))
+                    times = np.interp(grid, anchor, times)
+                    sizes = rng.choice(sizes, size=total)
+                    ttls = rng.choice(ttls, size=total)
+                    k = total
+                elif total < k:
+                    # The generator emitted more sketch points than the
+                    # flow-size feature indicates; keep the first ones.
+                    times, sizes, ttls = times[:total], sizes[:total], ttls[:total]
+                    k = total
+                columns["timestamp"].append(times)
+                columns["src_ip"].append(np.full(k, src[i], dtype=np.uint32))
+                columns["dst_ip"].append(np.full(k, dst[i], dtype=np.uint32))
+                columns["src_port"].append(np.full(k, sp[i]))
+                columns["dst_port"].append(np.full(k, dp[i]))
+                columns["protocol"].append(np.full(k, pr[i]))
+                columns["packet_size"].append(sizes)
+                columns["ttl"].append(ttls)
+
+        if not columns[names[0]]:
+            raise ValueError("generated tensors decode to an empty trace")
+        arrays = {k: np.concatenate(v) for k, v in columns.items()}
+        if self.kind == "netflow":
+            return FlowTrace(**arrays).sort_by_time()
+        return PacketTrace(**arrays).sort_by_time()

@@ -1,0 +1,102 @@
+"""Post-processing of generated traces (paper §4.2).
+
+After the GAN generates and the encoder decodes, NetShare:
+
+1. maps embedded fields back to natural values (done in the encoder's
+   nearest-neighbour decode),
+2. generates *derived* fields excluded from learning — for PCAP data
+   the IPv4 header checksum is computed from the generated header
+   fields (the paper's explicit two-step design choice),
+3. merges records back into one trace ordered by raw timestamp / flow
+   start time.
+
+An optional ``enforce_semantics`` pass clamps protocol-illegal values
+(packet sizes under the TCP/UDP minimum, byte counts outside
+[min*pkt, 65535*pkt]).  It is off by default: NetShare does not
+hard-enforce these, which is why Tables 6/7 report high-but-not-100%
+compliance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..datasets.records import FlowTrace, PacketTrace, PROTO_TCP, PROTO_UDP
+
+__all__ = [
+    "ipv4_checksum",
+    "compute_checksums",
+    "finalize_packet_trace",
+    "finalize_flow_trace",
+    "enforce_flow_semantics",
+    "enforce_packet_semantics",
+]
+
+
+def ipv4_checksum(words: np.ndarray) -> np.ndarray:
+    """Internet checksum over (n, k) arrays of 16-bit header words."""
+    total = words.astype(np.uint64).sum(axis=1)
+    while np.any(total > 0xFFFF):
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total & 0xFFFF).astype(np.int64)
+
+
+def compute_checksums(trace: PacketTrace) -> np.ndarray:
+    """IPv4 header checksum for every packet in a trace.
+
+    Header layout (no options, IHL=5): version/IHL/TOS, total length,
+    identification, flags/fragment offset (0), TTL/protocol, checksum
+    field zeroed, source and destination addresses.
+    """
+    n = len(trace)
+    words = np.zeros((n, 10), dtype=np.uint64)
+    words[:, 0] = 0x4500  # version 4, IHL 5, TOS 0
+    words[:, 1] = np.clip(trace.packet_size, 0, 0xFFFF)
+    words[:, 2] = trace.ip_id & 0xFFFF
+    words[:, 3] = 0  # flags/fragment
+    words[:, 4] = ((trace.ttl & 0xFF) << 8) | (trace.protocol & 0xFF)
+    words[:, 5] = 0  # checksum placeholder
+    words[:, 6] = (trace.src_ip.astype(np.uint64) >> 16) & 0xFFFF
+    words[:, 7] = trace.src_ip.astype(np.uint64) & 0xFFFF
+    words[:, 8] = (trace.dst_ip.astype(np.uint64) >> 16) & 0xFFFF
+    words[:, 9] = trace.dst_ip.astype(np.uint64) & 0xFFFF
+    return ipv4_checksum(words)
+
+
+def finalize_packet_trace(trace: PacketTrace,
+                          rng: Optional[np.random.Generator] = None
+                          ) -> PacketTrace:
+    """Fill derived fields and order by raw timestamp."""
+    out = trace.sort_by_time()
+    if rng is not None and np.all(out.ip_id == 0):
+        out.ip_id = rng.integers(0, 65536, size=len(out)).astype(np.int64)
+    out.checksum = compute_checksums(out)
+    return out
+
+
+def finalize_flow_trace(trace: FlowTrace) -> FlowTrace:
+    """Order NetFlow records by raw flow start time."""
+    return trace.sort_by_time()
+
+
+def enforce_flow_semantics(trace: FlowTrace) -> FlowTrace:
+    """Clamp bytes/packets into the protocol-legal envelope (Test 2)."""
+    out = trace.subset(slice(None))
+    out.packets = np.maximum(out.packets, 1)
+    for proto, floor in ((PROTO_TCP, 40), (PROTO_UDP, 28)):
+        mask = out.protocol == proto
+        lower = floor * out.packets[mask]
+        upper = 65535 * out.packets[mask]
+        out.bytes[mask] = np.clip(out.bytes[mask], lower, upper)
+    return out
+
+
+def enforce_packet_semantics(trace: PacketTrace) -> PacketTrace:
+    """Clamp packet sizes to protocol minimums / the MTU (Test 4)."""
+    out = trace.subset(slice(None))
+    for proto, floor in ((PROTO_TCP, 40), (PROTO_UDP, 28)):
+        mask = out.protocol == proto
+        out.packet_size[mask] = np.clip(out.packet_size[mask], floor, 65535)
+    return out

@@ -1,0 +1,71 @@
+"""Trace substrate: record containers, dataset profiles, synthesis, I/O.
+
+The six evaluation datasets from the paper are available through
+:func:`load_dataset`::
+
+    from repro.datasets import load_dataset
+    ugr16 = load_dataset("ugr16", n_records=2000, seed=0)   # FlowTrace
+    caida = load_dataset("caida", n_records=2000, seed=0)   # PacketTrace
+"""
+
+from .records import (
+    ATTACK_TYPES,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    PROTOCOL_NAMES,
+    FlowTrace,
+    PacketTrace,
+    int_to_ip,
+    ints_to_ips,
+    ip_to_int,
+    ips_to_ints,
+)
+from .schema import (
+    NETFLOW_FIELDS,
+    PCAP_FIELDS,
+    PORT_PROTOCOL_MAP,
+    SERVICE_PORTS,
+    FieldKind,
+    FieldSpec,
+    bin_ports,
+    fields_for,
+)
+from .synthetic import WorkloadProfile, generate_flow_trace, generate_packet_trace, zipf_weights
+from .profiles import (
+    DATASET_PROFILES,
+    NETFLOW_DATASETS,
+    PCAP_DATASETS,
+    PUBLIC_DATASETS,
+    get_profile,
+    load_dataset,
+)
+from .io import (
+    read_flow_csv,
+    read_packet_binary,
+    read_packet_csv,
+    write_flow_csv,
+    write_packet_binary,
+    write_packet_csv,
+)
+from .splits import merge_epochs, split_epochs, train_test_split_by_time
+from .anonymize import PrefixPreservingAnonymizer, anonymize_trace, truncate_ips
+from .pcap_format import build_ipv4_packet, parse_ipv4_packet, read_pcap, write_pcap
+
+__all__ = [
+    "FlowTrace", "PacketTrace",
+    "ip_to_int", "int_to_ip", "ips_to_ints", "ints_to_ips",
+    "PROTO_TCP", "PROTO_UDP", "PROTO_ICMP", "PROTOCOL_NAMES", "ATTACK_TYPES",
+    "FieldKind", "FieldSpec", "NETFLOW_FIELDS", "PCAP_FIELDS", "fields_for",
+    "bin_ports",
+    "PORT_PROTOCOL_MAP", "SERVICE_PORTS",
+    "WorkloadProfile", "generate_flow_trace", "generate_packet_trace",
+    "zipf_weights",
+    "DATASET_PROFILES", "NETFLOW_DATASETS", "PCAP_DATASETS", "PUBLIC_DATASETS",
+    "get_profile", "load_dataset",
+    "write_flow_csv", "read_flow_csv", "write_packet_csv", "read_packet_csv",
+    "write_packet_binary", "read_packet_binary",
+    "split_epochs", "merge_epochs", "train_test_split_by_time",
+    "PrefixPreservingAnonymizer", "anonymize_trace", "truncate_ips",
+    "write_pcap", "read_pcap", "build_ipv4_packet", "parse_ipv4_packet",
+]

@@ -1,0 +1,185 @@
+"""Serialisation of traces: CSV (NetFlow-style export) and a compact
+binary packet format (PCAP-like) with round-trip guarantees.
+
+The binary format is a simplified pcap: an 8-byte magic + version
+header followed by fixed-width little-endian records.  It exists so the
+examples can hand a generated trace to external tooling and so the
+round-trip is testable; it is not byte-compatible with libpcap.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .records import FlowTrace, PacketTrace, int_to_ip, ip_to_int
+
+__all__ = [
+    "write_flow_csv",
+    "read_flow_csv",
+    "write_packet_csv",
+    "read_packet_csv",
+    "write_packet_binary",
+    "read_packet_binary",
+]
+
+_FLOW_HEADER = (
+    "src_ip,dst_ip,src_port,dst_port,protocol,"
+    "start_time_ms,duration_ms,packets,bytes,label,attack_type"
+)
+_PACKET_HEADER = (
+    "timestamp_ms,src_ip,dst_ip,src_port,dst_port,protocol,"
+    "packet_size,ttl,ip_id,checksum"
+)
+
+_PCAPISH_MAGIC = b"RPCP"
+_PCAPISH_VERSION = 1
+# timestamp(f8) src(u4) dst(u4) sport(u2) dport(u2) proto(u1) size(u2)
+# ttl(u1) ip_id(u2) checksum(u2)
+_PACKET_STRUCT = struct.Struct("<dIIHHBHBHH")
+
+
+def write_flow_csv(trace: FlowTrace, path: Union[str, Path]) -> None:
+    """Write a flow trace as CSV with dotted-quad IPs."""
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write(_FLOW_HEADER + "\n")
+        for i in range(len(trace)):
+            handle.write(
+                f"{int_to_ip(trace.src_ip[i])},{int_to_ip(trace.dst_ip[i])},"
+                f"{trace.src_port[i]},{trace.dst_port[i]},{trace.protocol[i]},"
+                f"{trace.start_time[i]:.3f},{trace.duration[i]:.3f},"
+                f"{trace.packets[i]},{trace.bytes[i]},"
+                f"{trace.label[i]},{trace.attack_type[i]}\n"
+            )
+
+
+def read_flow_csv(path: Union[str, Path]) -> FlowTrace:
+    """Read a flow trace written by :func:`write_flow_csv`."""
+    path = Path(path)
+    columns = {k: [] for k in (
+        "src_ip", "dst_ip", "src_port", "dst_port", "protocol",
+        "start_time", "duration", "packets", "bytes", "label", "attack_type",
+    )}
+    with path.open() as handle:
+        header = handle.readline().strip()
+        if header != _FLOW_HEADER:
+            raise ValueError(f"unexpected flow CSV header in {path}")
+        for line in handle:
+            parts = line.strip().split(",")
+            if len(parts) != 11:
+                raise ValueError(f"malformed flow CSV row: {line!r}")
+            columns["src_ip"].append(ip_to_int(parts[0]))
+            columns["dst_ip"].append(ip_to_int(parts[1]))
+            columns["src_port"].append(int(parts[2]))
+            columns["dst_port"].append(int(parts[3]))
+            columns["protocol"].append(int(parts[4]))
+            columns["start_time"].append(float(parts[5]))
+            columns["duration"].append(float(parts[6]))
+            columns["packets"].append(int(parts[7]))
+            columns["bytes"].append(int(parts[8]))
+            columns["label"].append(int(parts[9]))
+            columns["attack_type"].append(int(parts[10]))
+    return FlowTrace(**{k: np.array(v) for k, v in columns.items()})
+
+
+def write_packet_csv(trace: PacketTrace, path: Union[str, Path]) -> None:
+    """Write a packet trace as CSV with dotted-quad IPs."""
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write(_PACKET_HEADER + "\n")
+        for i in range(len(trace)):
+            handle.write(
+                f"{trace.timestamp[i]:.6f},"
+                f"{int_to_ip(trace.src_ip[i])},{int_to_ip(trace.dst_ip[i])},"
+                f"{trace.src_port[i]},{trace.dst_port[i]},{trace.protocol[i]},"
+                f"{trace.packet_size[i]},{trace.ttl[i]},{trace.ip_id[i]},"
+                f"{trace.checksum[i]}\n"
+            )
+
+
+def read_packet_csv(path: Union[str, Path]) -> PacketTrace:
+    """Read a packet trace written by :func:`write_packet_csv`."""
+    path = Path(path)
+    columns = {k: [] for k in (
+        "timestamp", "src_ip", "dst_ip", "src_port", "dst_port",
+        "protocol", "packet_size", "ttl", "ip_id", "checksum",
+    )}
+    with path.open() as handle:
+        header = handle.readline().strip()
+        if header != _PACKET_HEADER:
+            raise ValueError(f"unexpected packet CSV header in {path}")
+        for line in handle:
+            parts = line.strip().split(",")
+            if len(parts) != 10:
+                raise ValueError(f"malformed packet CSV row: {line!r}")
+            columns["timestamp"].append(float(parts[0]))
+            columns["src_ip"].append(ip_to_int(parts[1]))
+            columns["dst_ip"].append(ip_to_int(parts[2]))
+            columns["src_port"].append(int(parts[3]))
+            columns["dst_port"].append(int(parts[4]))
+            columns["protocol"].append(int(parts[5]))
+            columns["packet_size"].append(int(parts[6]))
+            columns["ttl"].append(int(parts[7]))
+            columns["ip_id"].append(int(parts[8]))
+            columns["checksum"].append(int(parts[9]))
+    return PacketTrace(**{k: np.array(v) for k, v in columns.items()})
+
+
+def write_packet_binary(trace: PacketTrace, path: Union[str, Path]) -> None:
+    """Write a packet trace in the compact binary (pcap-like) format."""
+    path = Path(path)
+    with path.open("wb") as handle:
+        handle.write(_PCAPISH_MAGIC)
+        handle.write(struct.pack("<HH", _PCAPISH_VERSION, 0))
+        handle.write(struct.pack("<Q", len(trace)))
+        for i in range(len(trace)):
+            handle.write(
+                _PACKET_STRUCT.pack(
+                    float(trace.timestamp[i]),
+                    int(trace.src_ip[i]),
+                    int(trace.dst_ip[i]),
+                    int(trace.src_port[i]),
+                    int(trace.dst_port[i]),
+                    int(trace.protocol[i]) & 0xFF,
+                    min(int(trace.packet_size[i]), 0xFFFF),
+                    int(trace.ttl[i]) & 0xFF,
+                    int(trace.ip_id[i]) & 0xFFFF,
+                    int(trace.checksum[i]) & 0xFFFF,
+                )
+            )
+
+
+def read_packet_binary(path: Union[str, Path]) -> PacketTrace:
+    """Read a packet trace written by :func:`write_packet_binary`."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        magic = handle.read(4)
+        if magic != _PCAPISH_MAGIC:
+            raise ValueError(f"{path} is not a repro packet capture")
+        version, _ = struct.unpack("<HH", handle.read(4))
+        if version != _PCAPISH_VERSION:
+            raise ValueError(f"unsupported capture version {version}")
+        (count,) = struct.unpack("<Q", handle.read(8))
+        raw = handle.read(count * _PACKET_STRUCT.size)
+    if len(raw) != count * _PACKET_STRUCT.size:
+        raise ValueError(f"{path} is truncated")
+    rows = list(_PACKET_STRUCT.iter_unpack(raw))
+    arr = np.array(rows, dtype=np.float64)
+    if len(arr) == 0:
+        arr = np.zeros((0, 10))
+    return PacketTrace(
+        timestamp=arr[:, 0],
+        src_ip=arr[:, 1].astype(np.uint32),
+        dst_ip=arr[:, 2].astype(np.uint32),
+        src_port=arr[:, 3].astype(np.int64),
+        dst_port=arr[:, 4].astype(np.int64),
+        protocol=arr[:, 5].astype(np.int64),
+        packet_size=arr[:, 6].astype(np.int64),
+        ttl=arr[:, 7].astype(np.int64),
+        ip_id=arr[:, 8].astype(np.int64),
+        checksum=arr[:, 9].astype(np.int64),
+    )

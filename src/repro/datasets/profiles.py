@@ -1,0 +1,229 @@
+"""Named dataset profiles mirroring the paper's six evaluation traces.
+
+§6.1 of the paper: three flow-header datasets (UGR16, CIDDS, TON) and
+three packet-header datasets (CAIDA, DC, CA).  Each profile below tunes
+the workload engine to that dataset's published character.  Two extra
+*public* profiles (``caida_chicago_2015``, used to train IP2Vec and as
+the DP "pretrain-SAME" source, and ``dc_public`` as "pretrain-DIFF")
+support Insight 4's public-data pretraining.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .records import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from .synthetic import WorkloadProfile
+
+__all__ = [
+    "DATASET_PROFILES",
+    "NETFLOW_DATASETS",
+    "PCAP_DATASETS",
+    "PUBLIC_DATASETS",
+    "load_dataset",
+    "get_profile",
+]
+
+
+def _ugr16() -> WorkloadProfile:
+    """Spanish ISP NetFlow (UGR16): diverse clients, background attacks."""
+    return WorkloadProfile(
+        name="ugr16",
+        kind="netflow",
+        src_ip_base="42.219",
+        dst_ip_base="143.72",
+        n_src_ips=500,
+        n_dst_ips=800,
+        src_zipf=1.1,
+        dst_zipf=0.9,
+        service_port_share=0.65,
+        service_port_weights={53: 0.35, 80: 0.25, 443: 0.2, 445: 0.08,
+                              21: 0.04, 25: 0.05, 22: 0.03},
+        protocol_mix={PROTO_TCP: 0.62, PROTO_UDP: 0.33, PROTO_ICMP: 0.05},
+        flow_size_logmu=1.1,
+        flow_size_logsigma=1.3,
+        elephant_fraction=0.03,
+        long_lived_fraction=0.18,
+        long_lived_duration_scale=5.0,
+        attack_mix={"dos": 0.04, "portscan": 0.04, "bruteforce": 0.02},
+    )
+
+
+def _cidds() -> WorkloadProfile:
+    """Emulated small-business network (CIDDS): few servers, clear attacks."""
+    return WorkloadProfile(
+        name="cidds",
+        kind="netflow",
+        src_ip_base="192.168",
+        dst_ip_base="192.168",
+        n_src_ips=60,
+        n_dst_ips=40,
+        src_zipf=0.8,
+        dst_zipf=1.4,
+        service_port_share=0.8,
+        service_port_weights={80: 0.3, 443: 0.25, 25: 0.15, 53: 0.15,
+                              22: 0.1, 445: 0.05},
+        protocol_mix={PROTO_TCP: 0.78, PROTO_UDP: 0.2, PROTO_ICMP: 0.02},
+        flow_size_logmu=1.4,
+        flow_size_logsigma=0.9,
+        elephant_fraction=0.01,
+        long_lived_fraction=0.1,
+        attack_mix={"dos": 0.08, "portscan": 0.08, "bruteforce": 0.06},
+    )
+
+
+def _ton() -> WorkloadProfile:
+    """TON_IoT telemetry: ~65% normal, rest spread over nine attacks."""
+    attack_share = 0.3493
+    nine = attack_share / 9.0
+    return WorkloadProfile(
+        name="ton",
+        kind="netflow",
+        src_ip_base="192.168",
+        dst_ip_base="3.122",
+        n_src_ips=120,
+        n_dst_ips=200,
+        src_zipf=1.0,
+        dst_zipf=1.1,
+        service_port_share=0.7,
+        service_port_weights={53: 0.3, 80: 0.25, 445: 0.15, 443: 0.15,
+                              21: 0.1, 123: 0.05},
+        protocol_mix={PROTO_TCP: 0.65, PROTO_UDP: 0.3, PROTO_ICMP: 0.05},
+        flow_size_logmu=1.0,
+        flow_size_logsigma=1.0,
+        attack_mix={
+            "ddos": nine, "dos": nine, "portscan": nine, "bruteforce": nine,
+            "backdoor": nine, "injection": nine, "mitm": nine,
+            "ransomware": nine, "xss": nine,
+        },
+    )
+
+
+def _caida() -> WorkloadProfile:
+    """CAIDA NYC 2018 backbone PCAP: huge address diversity, no labels."""
+    return WorkloadProfile(
+        name="caida",
+        kind="pcap",
+        src_ip_base="98",
+        dst_ip_base="151",
+        n_src_ips=1500,
+        n_dst_ips=1500,
+        src_zipf=1.05,
+        dst_zipf=1.05,
+        service_port_share=0.6,
+        service_port_weights={443: 0.35, 80: 0.3, 53: 0.2, 22: 0.05,
+                              25: 0.05, 445: 0.05},
+        protocol_mix={PROTO_TCP: 0.8, PROTO_UDP: 0.17, PROTO_ICMP: 0.03},
+        flow_size_logmu=1.6,
+        flow_size_logsigma=1.4,
+        elephant_fraction=0.02,
+        mean_iat_in_flow_ms=8.0,
+        trace_duration_ms=60_000.0,
+    )
+
+
+def _dc() -> WorkloadProfile:
+    """UNI1 data center PCAP (IMC 2010): rack locality, heavy elephants."""
+    return WorkloadProfile(
+        name="dc",
+        kind="pcap",
+        src_ip_base="10.1",
+        dst_ip_base="10.1",
+        n_src_ips=300,
+        n_dst_ips=300,
+        src_zipf=1.3,
+        dst_zipf=1.3,
+        service_port_share=0.75,
+        service_port_weights={80: 0.3, 443: 0.2, 3306: 0.2, 53: 0.15,
+                              8080: 0.15},
+        protocol_mix={PROTO_TCP: 0.92, PROTO_UDP: 0.07, PROTO_ICMP: 0.01},
+        # Elephant-heavy but flow-diverse: small evaluation subsets must
+        # still contain enough distinct flows to train on.
+        flow_size_logmu=1.6,
+        flow_size_logsigma=1.3,
+        elephant_fraction=0.04,
+        elephant_scale=150.0,
+        mean_iat_in_flow_ms=2.0,
+        trace_duration_ms=60_000.0,
+    )
+
+
+def _ca() -> WorkloadProfile:
+    """MACCDC cyber-defense competition PCAP: scan/attack heavy."""
+    return WorkloadProfile(
+        name="ca",
+        kind="pcap",
+        src_ip_base="192.168",
+        dst_ip_base="192.168",
+        n_src_ips=100,
+        n_dst_ips=150,
+        src_zipf=1.2,
+        dst_zipf=0.9,
+        service_port_share=0.55,
+        service_port_weights={80: 0.25, 443: 0.2, 22: 0.2, 445: 0.2,
+                              21: 0.1, 23: 0.05},
+        protocol_mix={PROTO_TCP: 0.85, PROTO_UDP: 0.12, PROTO_ICMP: 0.03},
+        flow_size_logmu=1.2,
+        flow_size_logsigma=1.2,
+        mean_iat_in_flow_ms=15.0,
+        trace_duration_ms=120_000.0,
+        attack_mix={"portscan": 0.15, "bruteforce": 0.08, "dos": 0.05},
+    )
+
+
+def _caida_chicago_2015() -> WorkloadProfile:
+    """Public CAIDA Chicago 2015 trace: same domain as `caida`, used to
+    train the IP2Vec embedding and as the DP pretrain-SAME source."""
+    profile = _caida()
+    profile.name = "caida_chicago_2015"
+    profile.src_ip_base = "71"
+    profile.dst_ip_base = "104"
+    # Wide port/protocol coverage so the embedding dictionary contains
+    # (almost) every word the private data uses (Insight 2).
+    profile.service_port_share = 0.5
+    profile.service_port_weights = {
+        p: 1.0 for p in (20, 21, 22, 23, 25, 53, 80, 110, 123, 143, 161,
+                         443, 445, 993, 3306, 3389, 5353, 8080)
+    }
+    return profile
+
+
+def _dc_public() -> WorkloadProfile:
+    """Public data-center trace from a *different* domain than CAIDA —
+    the DP pretrain-DIFF source in Fig 5."""
+    profile = _dc()
+    profile.name = "dc_public"
+    profile.src_ip_base = "10.9"
+    profile.dst_ip_base = "10.9"
+    return profile
+
+
+DATASET_PROFILES: Dict[str, WorkloadProfile] = {}
+for _factory in (_ugr16, _cidds, _ton, _caida, _dc, _ca,
+                 _caida_chicago_2015, _dc_public):
+    _p = _factory()
+    DATASET_PROFILES[_p.name] = _p
+
+NETFLOW_DATASETS: List[str] = ["ugr16", "cidds", "ton"]
+PCAP_DATASETS: List[str] = ["caida", "dc", "ca"]
+PUBLIC_DATASETS: List[str] = ["caida_chicago_2015", "dc_public"]
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a dataset profile by name."""
+    try:
+        return DATASET_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_PROFILES)}"
+        ) from None
+
+
+def load_dataset(name: str, n_records: int = 2000, seed: int = 0):
+    """Generate the named dataset (FlowTrace or PacketTrace).
+
+    The paper uses 1M-record subsets; at numpy-GAN scale we default to
+    2k records, which preserves every distributional phenomenon the
+    evaluation measures.
+    """
+    return get_profile(name).generate(n_records, seed=seed)

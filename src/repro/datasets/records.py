@@ -1,0 +1,291 @@
+"""Columnar containers for packet- and flow-header traces.
+
+The paper operates on two record types (§3.1):
+
+* **Flow header trace** (NetFlow-style): five-tuple + start time,
+  duration, packets, bytes, and optional label/attack-type fields.
+* **Packet header trace** (PCAP-style): five-tuple + per-packet
+  timestamp, size, and the remaining IPv4 header fields we model
+  (TTL, IP id; checksum is a *derived* field computed in
+  post-processing, matching the paper's two-step generation).
+
+Both are stored column-wise in numpy arrays so metric computation,
+sketching, and GAN preprocessing are vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FlowTrace",
+    "PacketTrace",
+    "ip_to_int",
+    "int_to_ip",
+    "ips_to_ints",
+    "ints_to_ips",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PROTO_ICMP",
+    "PROTOCOL_NAMES",
+    "ATTACK_TYPES",
+]
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_ICMP = 1
+
+PROTOCOL_NAMES: Dict[int, str] = {
+    PROTO_TCP: "TCP",
+    PROTO_UDP: "UDP",
+    PROTO_ICMP: "ICMP",
+}
+
+#: Attack taxonomy shared by the labelled NetFlow datasets (UGR16 /
+#: CIDDS / TON descriptions in §6.1).  Code 0 is always benign.
+ATTACK_TYPES: Dict[int, str] = {
+    0: "benign",
+    1: "dos",
+    2: "portscan",
+    3: "bruteforce",
+    4: "ddos",
+    5: "backdoor",
+    6: "injection",
+    7: "mitm",
+    8: "ransomware",
+    9: "scanning",
+    10: "xss",
+}
+
+
+def ip_to_int(address: str) -> int:
+    """Parse a dotted-quad IPv4 address into a 32-bit integer."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"invalid IPv4 octet in {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format a 32-bit integer as a dotted-quad IPv4 address."""
+    value = int(value)
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 integer out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ips_to_ints(addresses: Iterable[str]) -> np.ndarray:
+    return np.array([ip_to_int(a) for a in addresses], dtype=np.uint32)
+
+
+def ints_to_ips(values: Iterable[int]) -> List[str]:
+    return [int_to_ip(v) for v in values]
+
+
+def _as_column(values, dtype) -> np.ndarray:
+    arr = np.asarray(values)
+    return arr.astype(dtype, copy=False)
+
+
+class _TraceBase:
+    """Shared column-wise behaviour for flow and packet traces."""
+
+    def __len__(self) -> int:
+        return len(self._first_column())
+
+    def _first_column(self) -> np.ndarray:
+        first = dataclass_fields(self)[0].name
+        return getattr(self, first)
+
+    def _columns(self) -> Dict[str, np.ndarray]:
+        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+
+    def subset(self, index) -> "_TraceBase":
+        """Return a new trace keeping rows selected by mask/indices.
+
+        Columns are copied, so mutating the subset never aliases the
+        original trace (slices would otherwise return numpy views).
+        """
+        return type(self)(**{
+            k: np.array(v[index], copy=True)
+            for k, v in self._columns().items()
+        })
+
+    def validate(self) -> None:
+        """Raise if columns disagree in length or contain invalid values."""
+        n = len(self)
+        for name, col in self._columns().items():
+            if len(col) != n:
+                raise ValueError(f"column {name} has length {len(col)} != {n}")
+
+    @classmethod
+    def concatenate(cls, traces: Sequence["_TraceBase"]) -> "_TraceBase":
+        if not traces:
+            raise ValueError("cannot concatenate an empty list of traces")
+        columns = {}
+        for f in dataclass_fields(traces[0]):
+            columns[f.name] = np.concatenate([getattr(t, f.name) for t in traces])
+        return cls(**columns)
+
+    def five_tuple_keys(self) -> np.ndarray:
+        """Return an array of structured five-tuple keys (one per record)."""
+        keys = np.empty(
+            len(self),
+            dtype=[
+                ("src_ip", np.uint32),
+                ("dst_ip", np.uint32),
+                ("src_port", np.int64),
+                ("dst_port", np.int64),
+                ("protocol", np.int64),
+            ],
+        )
+        keys["src_ip"] = self.src_ip
+        keys["dst_ip"] = self.dst_ip
+        keys["src_port"] = self.src_port
+        keys["dst_port"] = self.dst_port
+        keys["protocol"] = self.protocol
+        return keys
+
+    def group_by_five_tuple(self) -> Dict[Tuple, np.ndarray]:
+        """Map five-tuple -> sorted record indices belonging to that flow."""
+        keys = self.five_tuple_keys()
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        boundaries = np.nonzero(sorted_keys[1:] != sorted_keys[:-1])[0] + 1
+        groups: Dict[Tuple, np.ndarray] = {}
+        start = 0
+        for end in list(boundaries) + [len(self)]:
+            idx = order[start:end]
+            key = tuple(sorted_keys[start].item())
+            groups[key] = np.sort(idx)
+            start = end
+        return groups
+
+
+@dataclass
+class FlowTrace(_TraceBase):
+    """A NetFlow-style trace; 11 fields per record as in §6.1.
+
+    Times are in milliseconds (matching the paper's TS/TD metric units).
+    ``label`` is 0/1 benign/attack; ``attack_type`` indexes
+    :data:`ATTACK_TYPES`.  Unlabelled datasets use all-zero columns.
+    """
+
+    src_ip: np.ndarray
+    dst_ip: np.ndarray
+    src_port: np.ndarray
+    dst_port: np.ndarray
+    protocol: np.ndarray
+    start_time: np.ndarray
+    duration: np.ndarray
+    packets: np.ndarray
+    bytes: np.ndarray
+    label: np.ndarray = field(default=None)
+    attack_type: np.ndarray = field(default=None)
+
+    def __post_init__(self):
+        self.src_ip = _as_column(self.src_ip, np.uint32)
+        self.dst_ip = _as_column(self.dst_ip, np.uint32)
+        self.src_port = _as_column(self.src_port, np.int64)
+        self.dst_port = _as_column(self.dst_port, np.int64)
+        self.protocol = _as_column(self.protocol, np.int64)
+        self.start_time = _as_column(self.start_time, np.float64)
+        self.duration = _as_column(self.duration, np.float64)
+        self.packets = _as_column(self.packets, np.int64)
+        self.bytes = _as_column(self.bytes, np.int64)
+        n = len(self.src_ip)
+        if self.label is None:
+            self.label = np.zeros(n, dtype=np.int64)
+        else:
+            self.label = _as_column(self.label, np.int64)
+        if self.attack_type is None:
+            self.attack_type = np.zeros(n, dtype=np.int64)
+        else:
+            self.attack_type = _as_column(self.attack_type, np.int64)
+
+    @property
+    def end_time(self) -> np.ndarray:
+        return self.start_time + self.duration
+
+    def sort_by_time(self) -> "FlowTrace":
+        return self.subset(np.argsort(self.start_time, kind="stable"))
+
+    def validate(self) -> None:
+        super().validate()
+        if np.any(self.packets < 0) or np.any(self.bytes < 0):
+            raise ValueError("packets/bytes must be non-negative")
+        if np.any(self.duration < 0):
+            raise ValueError("durations must be non-negative")
+        if np.any((self.src_port < 0) | (self.src_port > 65535)):
+            raise ValueError("source ports out of range")
+        if np.any((self.dst_port < 0) | (self.dst_port > 65535)):
+            raise ValueError("destination ports out of range")
+
+
+@dataclass
+class PacketTrace(_TraceBase):
+    """A PCAP-style trace: IPv4 header fields + arrival timestamp.
+
+    ``packet_size`` is the IP total length in bytes.  ``checksum`` is a
+    derived field: it is excluded from learning (paper §4.2) and filled
+    in by :mod:`repro.core.postprocess`.
+    """
+
+    timestamp: np.ndarray
+    src_ip: np.ndarray
+    dst_ip: np.ndarray
+    src_port: np.ndarray
+    dst_port: np.ndarray
+    protocol: np.ndarray
+    packet_size: np.ndarray
+    ttl: np.ndarray = field(default=None)
+    ip_id: np.ndarray = field(default=None)
+    checksum: np.ndarray = field(default=None)
+
+    def __post_init__(self):
+        self.timestamp = _as_column(self.timestamp, np.float64)
+        self.src_ip = _as_column(self.src_ip, np.uint32)
+        self.dst_ip = _as_column(self.dst_ip, np.uint32)
+        self.src_port = _as_column(self.src_port, np.int64)
+        self.dst_port = _as_column(self.dst_port, np.int64)
+        self.protocol = _as_column(self.protocol, np.int64)
+        self.packet_size = _as_column(self.packet_size, np.int64)
+        n = len(self.timestamp)
+        if self.ttl is None:
+            self.ttl = np.full(n, 64, dtype=np.int64)
+        else:
+            self.ttl = _as_column(self.ttl, np.int64)
+        if self.ip_id is None:
+            self.ip_id = np.zeros(n, dtype=np.int64)
+        else:
+            self.ip_id = _as_column(self.ip_id, np.int64)
+        if self.checksum is None:
+            self.checksum = np.zeros(n, dtype=np.int64)
+        else:
+            self.checksum = _as_column(self.checksum, np.int64)
+
+    def sort_by_time(self) -> "PacketTrace":
+        return self.subset(np.argsort(self.timestamp, kind="stable"))
+
+    def validate(self) -> None:
+        super().validate()
+        if np.any(self.packet_size < 0):
+            raise ValueError("packet sizes must be non-negative")
+        if np.any((self.src_port < 0) | (self.src_port > 65535)):
+            raise ValueError("source ports out of range")
+        if np.any((self.dst_port < 0) | (self.dst_port > 65535)):
+            raise ValueError("destination ports out of range")
+
+    def flow_sizes(self) -> np.ndarray:
+        """Number of packets per five-tuple flow (FS metric, Fig 1b)."""
+        groups = self.group_by_five_tuple()
+        return np.array([len(idx) for idx in groups.values()], dtype=np.int64)

@@ -1,0 +1,58 @@
+"""Epoch and train/test splitting utilities.
+
+The problem formulation (§3.1) receives traces split into *n*
+consecutive measurement epochs D_t; NetShare's Insight 1 merges those
+epochs back into one giant trace.  The downstream prediction task
+(Fig 11) sorts by timestamp and splits 80%:20% into earlier-train /
+later-test.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["split_epochs", "merge_epochs", "train_test_split_by_time"]
+
+
+def _time_column(trace) -> np.ndarray:
+    if hasattr(trace, "start_time"):
+        return trace.start_time
+    return trace.timestamp
+
+
+def split_epochs(trace, n_epochs: int) -> List:
+    """Split a trace into ``n_epochs`` consecutive equal-time epochs."""
+    if n_epochs < 1:
+        raise ValueError("need at least one epoch")
+    times = _time_column(trace)
+    if len(times) == 0:
+        return [trace.subset(slice(0, 0)) for _ in range(n_epochs)]
+    lo, hi = float(times.min()), float(times.max())
+    edges = np.linspace(lo, hi, n_epochs + 1)
+    edges[-1] = np.inf
+    epochs = []
+    for i in range(n_epochs):
+        mask = (times >= edges[i]) & (times < edges[i + 1])
+        epochs.append(trace.subset(mask))
+    return epochs
+
+
+def merge_epochs(epochs: List):
+    """Merge epoch traces back into one giant trace, sorted by time
+    (NetShare Insight 1's 'giant trace D')."""
+    if not epochs:
+        raise ValueError("no epochs to merge")
+    merged = type(epochs[0]).concatenate(epochs)
+    return merged.sort_by_time()
+
+
+def train_test_split_by_time(trace, train_fraction: float = 0.8) -> Tuple:
+    """Sort by time; earlier ``train_fraction`` trains, the rest tests
+    (the Fig 11 setup for the traffic-type prediction task)."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    ordered = trace.sort_by_time()
+    cut = int(len(ordered) * train_fraction)
+    return ordered.subset(slice(0, cut)), ordered.subset(slice(cut, len(ordered)))

@@ -1,0 +1,516 @@
+"""Synthetic workload engine standing in for the paper's public traces.
+
+The paper evaluates on six public datasets (UGR16, CIDDS, TON; CAIDA,
+DC, CA).  Those traces are not redistributable here, so this module
+implements a structural workload generator whose outputs exercise the
+same phenomena the evaluation measures:
+
+* Zipf-distributed IP and port popularity (heavy hitters for Fig 13),
+* a service-port head (53/80/443/445/21...) over an ephemeral tail
+  (Fig 3),
+* heavy-tailed flow sizes and volumes — lognormal body with a Pareto
+  elephant tail spanning mice to elephants (Fig 2),
+* long-lived flows that are emitted as multiple NetFlow records due to
+  collector active-timeout behaviour, and flows spanning measurement
+  epochs (Fig 1a),
+* multi-packet flows with realistic per-packet sizes/inter-arrivals
+  for PCAP data (Fig 1b),
+* labelled attack traffic with per-attack structure (DoS, port scan,
+  brute force, and the TON IoT attack mix) for the prediction task
+  (Fig 12, Table 3).
+
+Every sampler takes an explicit ``numpy.random.Generator`` so dataset
+generation is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .records import (
+    ATTACK_TYPES,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    FlowTrace,
+    PacketTrace,
+    ip_to_int,
+)
+from .schema import PORT_PROTOCOL_MAP
+
+__all__ = [
+    "WorkloadProfile",
+    "zipf_weights",
+    "sample_zipf_pool",
+    "generate_flow_trace",
+    "generate_packet_trace",
+]
+
+_ATTACK_CODES = {name: code for code, name in ATTACK_TYPES.items()}
+
+
+def zipf_weights(n: int, exponent: float) -> np.ndarray:
+    """Normalised Zipf(pmf ∝ rank^-exponent) weights over ``n`` items."""
+    if n <= 0:
+        raise ValueError("pool size must be positive")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def sample_zipf_pool(
+    rng: np.random.Generator,
+    pool: np.ndarray,
+    exponent: float,
+    size: int,
+) -> np.ndarray:
+    """Sample ``size`` items from ``pool`` with Zipf popularity."""
+    weights = zipf_weights(len(pool), exponent)
+    return rng.choice(pool, size=size, p=weights)
+
+
+def _make_ip_pool(rng: np.random.Generator, base: str, count: int) -> np.ndarray:
+    """Build a pool of ``count`` distinct IPs under ``base`` (e.g. '10.7')."""
+    parts = base.split(".")
+    prefix = 0
+    for p in parts:
+        prefix = (prefix << 8) | int(p)
+    host_bits = 32 - 8 * len(parts)
+    space = 1 << host_bits
+    if count > space:
+        raise ValueError(f"cannot draw {count} IPs from a /{8 * len(parts)}")
+    hosts = rng.choice(space, size=count, replace=False)
+    return (np.uint32(prefix) << np.uint32(host_bits)) | hosts.astype(np.uint32)
+
+
+@dataclass
+class WorkloadProfile:
+    """Knobs describing one dataset's structural character."""
+
+    name: str
+    kind: str  # "netflow" or "pcap"
+    # address structure
+    src_ip_base: str = "10.0"
+    dst_ip_base: str = "172.16"
+    n_src_ips: int = 400
+    n_dst_ips: int = 600
+    src_zipf: float = 1.1
+    dst_zipf: float = 1.0
+    # ports and protocols
+    service_port_share: float = 0.7
+    service_port_weights: Dict[int, float] = field(
+        default_factory=lambda: {53: 0.3, 80: 0.25, 443: 0.2, 445: 0.1,
+                                 21: 0.05, 22: 0.05, 25: 0.05}
+    )
+    protocol_mix: Dict[int, float] = field(
+        default_factory=lambda: {PROTO_TCP: 0.7, PROTO_UDP: 0.25, PROTO_ICMP: 0.05}
+    )
+    # flow size / volume (lognormal body, Pareto elephant tail)
+    flow_size_logmu: float = 1.2
+    flow_size_logsigma: float = 1.1
+    elephant_fraction: float = 0.02
+    elephant_pareto_alpha: float = 0.9
+    elephant_scale: float = 200.0
+    # timing
+    trace_duration_ms: float = 600_000.0  # ten minutes
+    diurnal_amplitude: float = 0.3
+    mean_iat_in_flow_ms: float = 40.0
+    # NetFlow collector behaviour (drives Fig 1a)
+    active_timeout_ms: float = 30_000.0
+    long_lived_fraction: float = 0.12
+    long_lived_duration_scale: float = 4.0
+    # attacks
+    attack_mix: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in ("netflow", "pcap"):
+            raise ValueError(f"unknown trace kind {self.kind!r}")
+        total_attack = sum(self.attack_mix.values())
+        if total_attack > 0.9:
+            raise ValueError("attack mix cannot exceed 90% of the trace")
+        for attack in self.attack_mix:
+            if attack not in _ATTACK_CODES:
+                raise ValueError(f"unknown attack type {attack!r}")
+
+    # ------------------------------------------------------------------
+    def generate(self, n_records: int, seed: int = 0):
+        """Generate approximately ``n_records`` records of this profile."""
+        rng = np.random.default_rng(seed)
+        if self.kind == "netflow":
+            return generate_flow_trace(self, n_records, rng)
+        return generate_packet_trace(self, n_records, rng)
+
+
+# ----------------------------------------------------------------------
+# base flow synthesis
+# ----------------------------------------------------------------------
+def _sample_arrival_times(
+    rng: np.random.Generator, profile: WorkloadProfile, size: int
+) -> np.ndarray:
+    """Arrival times with a sinusoidal (diurnal-like) intensity."""
+    duration = profile.trace_duration_ms
+    # Rejection sampling against intensity 1 + a*sin(2*pi*t/duration).
+    amplitude = min(max(profile.diurnal_amplitude, 0.0), 0.99)
+    times = []
+    needed = size
+    while needed > 0:
+        candidates = rng.uniform(0.0, duration, size=2 * needed)
+        intensity = 1.0 + amplitude * np.sin(2 * np.pi * candidates / duration)
+        keep = rng.uniform(0.0, 1.0 + amplitude, size=len(candidates)) < intensity
+        accepted = candidates[keep][:needed]
+        times.append(accepted)
+        needed -= len(accepted)
+    return np.sort(np.concatenate(times))[:size]
+
+
+def _sample_flow_sizes(
+    rng: np.random.Generator, profile: WorkloadProfile, size: int
+) -> np.ndarray:
+    """Packets per flow: lognormal body with a Pareto elephant tail."""
+    body = rng.lognormal(profile.flow_size_logmu, profile.flow_size_logsigma, size)
+    packets = np.maximum(1, np.round(body)).astype(np.int64)
+    elephants = rng.uniform(size=size) < profile.elephant_fraction
+    if elephants.any():
+        tail = (rng.pareto(profile.elephant_pareto_alpha, elephants.sum()) + 1.0)
+        packets[elephants] = np.maximum(
+            packets[elephants],
+            np.round(tail * profile.elephant_scale).astype(np.int64),
+        )
+    return np.minimum(packets, 2_000_000)
+
+
+def _packet_size_params(protocol: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-packet size floor/ceiling by protocol (Appendix B Test 2/4)."""
+    floor = np.where(protocol == PROTO_TCP, 40, np.where(protocol == PROTO_UDP, 28, 28))
+    ceiling = np.full(len(protocol), 1500)
+    return floor, ceiling
+
+
+def _sample_ports_and_protocols(
+    rng: np.random.Generator, profile: WorkloadProfile, size: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample (src_port, dst_port, protocol) with port/protocol coupling."""
+    service_ports = np.array(sorted(profile.service_port_weights), dtype=np.int64)
+    weights = np.array(
+        [profile.service_port_weights[p] for p in service_ports], dtype=np.float64
+    )
+    weights = weights / weights.sum()
+
+    protocols = rng.choice(
+        np.array(sorted(profile.protocol_mix), dtype=np.int64),
+        size=size,
+        p=np.array(
+            [profile.protocol_mix[k] for k in sorted(profile.protocol_mix)],
+            dtype=np.float64,
+        )
+        / sum(profile.protocol_mix.values()),
+    )
+
+    dst_port = np.where(
+        rng.uniform(size=size) < profile.service_port_share,
+        rng.choice(service_ports, size=size, p=weights),
+        rng.integers(1024, 65536, size=size),
+    )
+    src_port = rng.integers(1024, 65536, size=size)
+
+    # Enforce port→protocol compliance for well-known service ports, and
+    # strip ports from ICMP traffic (no L4 header).
+    for port, proto in PORT_PROTOCOL_MAP.items():
+        mask = dst_port == port
+        protocols[mask] = proto
+    icmp = protocols == PROTO_ICMP
+    src_port[icmp] = 0
+    dst_port[icmp] = 0
+    return src_port, dst_port.astype(np.int64), protocols
+
+
+@dataclass
+class _BaseFlows:
+    """Intermediate representation before NetFlow/PCAP materialisation."""
+
+    src_ip: np.ndarray
+    dst_ip: np.ndarray
+    src_port: np.ndarray
+    dst_port: np.ndarray
+    protocol: np.ndarray
+    start_time: np.ndarray
+    duration: np.ndarray
+    packets: np.ndarray
+    bytes: np.ndarray
+    label: np.ndarray
+    attack_type: np.ndarray
+
+    def __len__(self):
+        return len(self.src_ip)
+
+
+def _synthesize_base_flows(
+    rng: np.random.Generator, profile: WorkloadProfile, n_flows: int
+) -> _BaseFlows:
+    src_pool = _make_ip_pool(rng, profile.src_ip_base, profile.n_src_ips)
+    dst_pool = _make_ip_pool(rng, profile.dst_ip_base, profile.n_dst_ips)
+
+    n_attack = int(sum(profile.attack_mix.values()) * n_flows)
+    n_benign = n_flows - n_attack
+
+    src_ip = sample_zipf_pool(rng, src_pool, profile.src_zipf, n_benign)
+    dst_ip = sample_zipf_pool(rng, dst_pool, profile.dst_zipf, n_benign)
+    src_port, dst_port, protocol = _sample_ports_and_protocols(rng, profile, n_benign)
+    packets = _sample_flow_sizes(rng, profile, n_benign)
+
+    floor, ceiling = _packet_size_params(protocol)
+    mean_size = np.clip(rng.normal(700, 350, size=n_benign), floor + 10, ceiling)
+    bytes_ = (packets * mean_size).astype(np.int64)
+    bytes_ = np.maximum(bytes_, packets * floor)
+    bytes_ = np.minimum(bytes_, packets * 65535)
+
+    start = _sample_arrival_times(rng, profile, n_benign)
+    base_duration = packets * profile.mean_iat_in_flow_ms
+    duration = base_duration * rng.lognormal(0.0, 0.5, size=n_benign)
+    long_lived = rng.uniform(size=n_benign) < profile.long_lived_fraction
+    duration[long_lived] *= profile.long_lived_duration_scale
+    duration = np.minimum(duration, profile.trace_duration_ms * 1.5)
+
+    label = np.zeros(n_benign, dtype=np.int64)
+    attack_type = np.zeros(n_benign, dtype=np.int64)
+
+    flows = _BaseFlows(
+        src_ip, dst_ip, src_port, dst_port, protocol,
+        start, duration, packets, bytes_, label, attack_type,
+    )
+    if n_attack:
+        attack_flows = _synthesize_attacks(rng, profile, src_pool, dst_pool, n_attack)
+        flows = _concat_base(flows, attack_flows)
+    order = np.argsort(flows.start_time, kind="stable")
+    return _BaseFlows(**{
+        k: getattr(flows, k)[order] for k in vars(flows)
+    })
+
+
+def _concat_base(a: _BaseFlows, b: _BaseFlows) -> _BaseFlows:
+    return _BaseFlows(**{
+        k: np.concatenate([getattr(a, k), getattr(b, k)]) for k in vars(a)
+    })
+
+
+def _synthesize_attacks(
+    rng: np.random.Generator,
+    profile: WorkloadProfile,
+    src_pool: np.ndarray,
+    dst_pool: np.ndarray,
+    n_attack: int,
+) -> _BaseFlows:
+    """Generate attack flows with per-attack structural signatures."""
+    mix = profile.attack_mix
+    total = sum(mix.values())
+    columns = {k: [] for k in (
+        "src_ip", "dst_ip", "src_port", "dst_port", "protocol",
+        "start_time", "duration", "packets", "bytes", "label", "attack_type",
+    )}
+
+    for attack, share in mix.items():
+        count = max(1, int(round(n_attack * share / total)))
+        code = _ATTACK_CODES[attack]
+        start = _sample_arrival_times(rng, profile, count)
+        if attack in ("dos", "ddos"):
+            # Many high-rate flows converging on a single victim/port.
+            victim = rng.choice(dst_pool)
+            n_sources = max(1, count // 20) if attack == "dos" else max(5, count // 4)
+            sources = rng.choice(src_pool, size=n_sources, replace=False
+                                 if n_sources <= len(src_pool) else True)
+            src = rng.choice(sources, size=count)
+            dst = np.full(count, victim, dtype=np.uint32)
+            dport = np.full(count, 80, dtype=np.int64)
+            proto = np.full(count, PROTO_TCP, dtype=np.int64)
+            pkts = rng.integers(100, 3000, size=count)
+            byt = pkts * rng.integers(40, 120, size=count)
+            dur = pkts * rng.uniform(0.5, 2.0, size=count)
+        elif attack in ("portscan", "scanning"):
+            # One scanner sweeping many ports with 1-2 packet flows.
+            scanner = rng.choice(src_pool)
+            src = np.full(count, scanner, dtype=np.uint32)
+            dst = rng.choice(dst_pool, size=count)
+            dport = rng.permutation(np.arange(1, 65536))[:count].astype(np.int64)
+            proto = np.full(count, PROTO_TCP, dtype=np.int64)
+            pkts = rng.integers(1, 3, size=count)
+            byt = pkts * 40
+            dur = rng.uniform(0.1, 5.0, size=count)
+        elif attack == "bruteforce":
+            # Repeated short connections to an auth service (SSH).
+            attacker = rng.choice(src_pool)
+            victim = rng.choice(dst_pool)
+            src = np.full(count, attacker, dtype=np.uint32)
+            dst = np.full(count, victim, dtype=np.uint32)
+            dport = np.full(count, 22, dtype=np.int64)
+            proto = np.full(count, PROTO_TCP, dtype=np.int64)
+            pkts = rng.integers(8, 25, size=count)
+            byt = pkts * rng.integers(60, 200, size=count)
+            dur = rng.uniform(500, 4000, size=count)
+        else:
+            # IoT attack grab bag (backdoor/injection/mitm/ransomware/xss):
+            # anomalous ports and volumes, single source pair per type.
+            src = rng.choice(src_pool, size=count)
+            dst = rng.choice(dst_pool, size=count)
+            dport = rng.choice(
+                np.array([4444, 8443, 1337, 6667, 31337], dtype=np.int64), size=count
+            )
+            proto = rng.choice(
+                np.array([PROTO_TCP, PROTO_UDP], dtype=np.int64), size=count
+            )
+            pkts = rng.integers(3, 400, size=count)
+            byt = pkts * rng.integers(50, 1400, size=count)
+            dur = pkts * rng.uniform(5.0, 60.0, size=count)
+
+        sport = rng.integers(1024, 65536, size=count)
+        columns["src_ip"].append(src)
+        columns["dst_ip"].append(dst)
+        columns["src_port"].append(sport.astype(np.int64))
+        columns["dst_port"].append(dport)
+        columns["protocol"].append(proto)
+        columns["start_time"].append(start)
+        columns["duration"].append(dur)
+        columns["packets"].append(pkts.astype(np.int64))
+        columns["bytes"].append(byt.astype(np.int64))
+        columns["label"].append(np.ones(count, dtype=np.int64))
+        columns["attack_type"].append(np.full(count, code, dtype=np.int64))
+
+    return _BaseFlows(**{k: np.concatenate(v) for k, v in columns.items()})
+
+
+# ----------------------------------------------------------------------
+# NetFlow materialisation
+# ----------------------------------------------------------------------
+def generate_flow_trace(
+    profile: WorkloadProfile, n_records: int, rng: np.random.Generator
+) -> FlowTrace:
+    """Materialise a NetFlow trace of ~``n_records`` records.
+
+    Long-lived flows are chopped at the collector's active timeout, so
+    one five-tuple can emit several records — the behaviour Fig 1a of
+    the paper shows baselines failing to learn.
+    """
+    # Estimate how many base flows produce n_records after timeout splits.
+    expansion = 1.0 + profile.long_lived_fraction * max(
+        profile.long_lived_duration_scale / 2.0, 1.0
+    )
+    n_flows = max(1, int(n_records / expansion))
+    flows = _synthesize_base_flows(rng, profile, n_flows)
+
+    columns = {k: [] for k in (
+        "src_ip", "dst_ip", "src_port", "dst_port", "protocol",
+        "start_time", "duration", "packets", "bytes", "label", "attack_type",
+    )}
+    timeout = profile.active_timeout_ms
+    n_splits = np.maximum(1, np.ceil(flows.duration / timeout)).astype(np.int64)
+    n_splits = np.minimum(n_splits, 32)
+
+    for i in range(len(flows)):
+        k = int(n_splits[i])
+        pk_total, byt_total = int(flows.packets[i]), int(flows.bytes[i])
+        if k == 1:
+            shares = np.array([1.0])
+        else:
+            shares = rng.dirichlet(np.full(k, 3.0))
+        pk = np.maximum(1, np.round(shares * pk_total)).astype(np.int64)
+        byt = np.maximum(pk * 28, np.round(shares * byt_total)).astype(np.int64)
+        seg_duration = flows.duration[i] / k
+        starts = flows.start_time[i] + seg_duration * np.arange(k)
+        for name, value in (
+            ("src_ip", np.full(k, flows.src_ip[i], dtype=np.uint32)),
+            ("dst_ip", np.full(k, flows.dst_ip[i], dtype=np.uint32)),
+            ("src_port", np.full(k, flows.src_port[i])),
+            ("dst_port", np.full(k, flows.dst_port[i])),
+            ("protocol", np.full(k, flows.protocol[i])),
+            ("start_time", starts),
+            ("duration", np.full(k, seg_duration)),
+            ("packets", pk),
+            ("bytes", byt),
+            ("label", np.full(k, flows.label[i])),
+            ("attack_type", np.full(k, flows.attack_type[i])),
+        ):
+            columns[name].append(value)
+
+    trace = FlowTrace(**{k: np.concatenate(v) for k, v in columns.items()})
+    trace = trace.sort_by_time()
+    if len(trace) > n_records:
+        trace = trace.subset(slice(0, n_records))
+    return trace
+
+
+# ----------------------------------------------------------------------
+# PCAP materialisation
+# ----------------------------------------------------------------------
+def generate_packet_trace(
+    profile: WorkloadProfile, n_records: int, rng: np.random.Generator
+) -> PacketTrace:
+    """Materialise a PCAP trace of ~``n_records`` packets.
+
+    Each base flow expands into its individual packets with exponential
+    inter-arrivals and protocol-legal sizes, giving the multi-packet
+    flows whose size CDF Fig 1b evaluates.
+    """
+    mean_flow_size = float(
+        np.exp(profile.flow_size_logmu + profile.flow_size_logsigma**2 / 2.0)
+    )
+    n_flows = max(1, int(n_records / max(mean_flow_size, 1.0)))
+    flows = _synthesize_base_flows(rng, profile, n_flows)
+
+    counts = np.minimum(flows.packets, 5_000).astype(np.int64)
+    total = int(counts.sum())
+    timestamp = np.empty(total)
+    size = np.empty(total, dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+
+    floor, _ = _packet_size_params(flows.protocol)
+    for i in range(len(flows)):
+        lo, hi = offsets[i], offsets[i + 1]
+        k = hi - lo
+        if k <= 0:
+            continue
+        gaps = rng.exponential(
+            max(flows.duration[i] / max(k, 1), 1e-3), size=k
+        )
+        times = flows.start_time[i] + np.cumsum(gaps) - gaps[0]
+        timestamp[lo:hi] = times
+        # Bimodal sizes: small control packets + near-MTU data packets.
+        data_packet = rng.uniform(size=k) < 0.6
+        sizes = np.where(
+            data_packet,
+            rng.integers(900, 1501, size=k),
+            rng.integers(floor[i], 120, size=k),
+        )
+        sizes = np.maximum(sizes, floor[i])
+        size[lo:hi] = sizes
+
+    repeat = np.repeat(np.arange(len(flows)), counts)
+    trace = PacketTrace(
+        timestamp=timestamp,
+        src_ip=flows.src_ip[repeat],
+        dst_ip=flows.dst_ip[repeat],
+        src_port=flows.src_port[repeat],
+        dst_port=flows.dst_port[repeat],
+        protocol=flows.protocol[repeat],
+        packet_size=size,
+        ttl=rng.choice(np.array([32, 64, 128, 255]), size=total,
+                       p=[0.05, 0.6, 0.3, 0.05]),
+        ip_id=rng.integers(0, 65536, size=total),
+    )
+    if len(trace) > n_records:
+        # Trim at *flow* granularity: a time-prefix cut would keep only
+        # the earliest flows and collapse the trace's flow diversity.
+        order = rng.permutation(len(flows))
+        budget = n_records
+        keep_flows = np.zeros(len(flows), dtype=bool)
+        for f in order:
+            c = int(counts[f])
+            if c <= budget:
+                keep_flows[f] = True
+                budget -= c
+            if budget <= 0:
+                break
+        mask = keep_flows[repeat]
+        trace = trace.subset(mask)
+    return trace.sort_by_time()

@@ -1,0 +1,5 @@
+"""Time-series GAN substrate (DoppelGANger building block)."""
+
+from .doppelganger import DgConfig, DoppelGANger, TrainingLog
+
+__all__ = ["DgConfig", "DoppelGANger", "TrainingLog"]

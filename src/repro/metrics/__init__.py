@@ -1,0 +1,49 @@
+"""Fidelity metrics: JSD/EMD distances, per-field reports, rank
+correlation, and protocol-consistency checks (paper §6.2, Appendix B)."""
+
+from .divergence import (
+    categorical_histogram,
+    earth_movers_distance,
+    js_divergence,
+    js_divergence_ranked,
+    normalize_emds,
+    rank_frequency_distribution,
+    total_variation_distance,
+)
+from .fidelity import FidelityReport, ModelComparison, compare_models, evaluate_fidelity
+from .rank import rank_correlation_of_scores, rankdata, spearman_rank_correlation
+from .overfitting import (
+    OverlapReport,
+    memorization_score,
+    nearest_record_distances,
+    overlap_report,
+)
+from .temporal import (
+    TemporalReport,
+    autocorrelation,
+    flow_interarrival_times,
+    interarrival_times,
+    temporal_report,
+    volume_series,
+)
+from .consistency import (
+    consistency_report,
+    test1_ip_validity,
+    test2_bytes_packets,
+    test3_port_protocol,
+    test4_min_packet_size,
+)
+
+__all__ = [
+    "js_divergence", "js_divergence_ranked", "rank_frequency_distribution",
+    "earth_movers_distance", "normalize_emds",
+    "categorical_histogram", "total_variation_distance",
+    "FidelityReport", "ModelComparison", "compare_models", "evaluate_fidelity",
+    "spearman_rank_correlation", "rank_correlation_of_scores", "rankdata",
+    "consistency_report", "test1_ip_validity", "test2_bytes_packets",
+    "test3_port_protocol", "test4_min_packet_size",
+    "OverlapReport", "overlap_report", "nearest_record_distances",
+    "memorization_score",
+    "TemporalReport", "temporal_report", "interarrival_times",
+    "flow_interarrival_times", "volume_series", "autocorrelation",
+]

@@ -1,0 +1,60 @@
+"""Rank statistics for order-preservation findings (Tables 3 & 4)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["spearman_rank_correlation", "rank_correlation_of_scores", "rankdata"]
+
+
+def rankdata(values: Sequence[float]) -> np.ndarray:
+    """Average ranks (ties share the mean of their rank range)."""
+    values = np.asarray(values, dtype=np.float64)
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(len(values), dtype=np.float64)
+    ranks[order] = np.arange(1, len(values) + 1)
+    # Average ranks among ties.
+    sorted_vals = values[order]
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            ranks[order[i:j + 1]] = (i + j + 2) / 2.0
+        i = j + 1
+    return ranks
+
+
+def spearman_rank_correlation(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman's rho between two score vectors (1.0 = identical order).
+
+    This is the statistic behind Table 3 (classifier rank preservation)
+    and Table 4 (NetML mode rank preservation).
+    """
+    a, b = np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)
+    if len(a) != len(b):
+        raise ValueError("score vectors must have equal length")
+    if len(a) < 2:
+        raise ValueError("need at least two scores to rank")
+    ra, rb = rankdata(a), rankdata(b)
+    ra_c, rb_c = ra - ra.mean(), rb - rb.mean()
+    denom = np.sqrt((ra_c**2).sum() * (rb_c**2).sum())
+    if denom == 0:
+        return 0.0
+    return float((ra_c * rb_c).sum() / denom)
+
+
+def rank_correlation_of_scores(
+    real_scores: Dict[str, float], synthetic_scores: Dict[str, float]
+) -> float:
+    """Spearman's rho between real and synthetic scores keyed by
+    algorithm name (keys must match)."""
+    if set(real_scores) != set(synthetic_scores):
+        raise ValueError("real and synthetic score keys differ")
+    keys = sorted(real_scores)
+    return spearman_rank_correlation(
+        [real_scores[k] for k in keys], [synthetic_scores[k] for k in keys]
+    )

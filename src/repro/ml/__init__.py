@@ -1,0 +1,37 @@
+"""Classifier substrate (scratch implementations of the five models the
+prediction task uses, plus the OCSVM the anomaly-detection task uses).
+
+The paper's Fig 12 evaluates Decision Tree, Logistic Regression,
+Random Forest, Gradient Boosting and MLP; :data:`CLASSIFIER_FACTORIES`
+builds all five with task-appropriate defaults.
+"""
+
+from typing import Callable, Dict
+
+from .boosting import GradientBoostingClassifier
+from .forest import RandomForestClassifier
+from .linear import LogisticRegression
+from .metrics import accuracy_score, confusion_matrix, macro_f1_score
+from .mlp import MLPClassifier
+from .ocsvm import OneClassSVM
+from .preprocessing import StandardScaler, train_features_flow
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+#: Factories for the five Fig-12 classifiers, keyed by the paper's
+#: abbreviations.
+CLASSIFIER_FACTORIES: Dict[str, Callable] = {
+    "DT": lambda: DecisionTreeClassifier(max_depth=8),
+    "LR": lambda: LogisticRegression(n_iter=250),
+    "RF": lambda: RandomForestClassifier(n_estimators=15, max_depth=8),
+    "GB": lambda: GradientBoostingClassifier(n_estimators=20, max_depth=3),
+    "MLP": lambda: MLPClassifier(hidden=(32, 16), n_epochs=30),
+}
+
+__all__ = [
+    "DecisionTreeClassifier", "DecisionTreeRegressor",
+    "RandomForestClassifier", "GradientBoostingClassifier",
+    "LogisticRegression", "MLPClassifier", "OneClassSVM",
+    "StandardScaler", "train_features_flow",
+    "accuracy_score", "confusion_matrix", "macro_f1_score",
+    "CLASSIFIER_FACTORIES",
+]

@@ -1,0 +1,82 @@
+"""Gradient boosting classifier (the 'GB' model of Fig 12).
+
+Multiclass gradient boosting with softmax loss: each round fits one
+regression tree per class to the negative gradient (residual between
+one-hot targets and current softmax probabilities), as in Friedman's
+original formulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tree import DecisionTreeRegressor
+
+__all__ = ["GradientBoostingClassifier"]
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class GradientBoostingClassifier:
+    def __init__(self, n_estimators: int = 30, learning_rate: float = 0.2,
+                 max_depth: int = 3, seed: int = 0):
+        if n_estimators < 1:
+            raise ValueError("need at least one boosting round")
+        if not 0 < learning_rate <= 1:
+            raise ValueError("learning_rate must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.seed = seed
+        self.stages_ = []  # list of per-class tree lists
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        self.classes_ = np.unique(y)
+        n_classes = len(self.classes_)
+        index = {c: i for i, c in enumerate(self.classes_)}
+        onehot = np.zeros((len(y), n_classes))
+        onehot[np.arange(len(y)), [index[v] for v in y]] = 1.0
+
+        # Initial log-odds from the class priors.
+        priors = onehot.mean(axis=0)
+        self.base_score_ = np.log(np.clip(priors, 1e-9, None))
+        logits = np.tile(self.base_score_, (len(y), 1))
+
+        self.stages_ = []
+        for m in range(self.n_estimators):
+            probs = _softmax(logits)
+            residuals = onehot - probs
+            stage = []
+            for k in range(n_classes):
+                tree = DecisionTreeRegressor(
+                    max_depth=self.max_depth,
+                    rng=np.random.default_rng(self.seed + m * 97 + k),
+                )
+                tree.fit(x, residuals[:, k])
+                update = tree.predict(x)
+                logits[:, k] += self.learning_rate * update
+                stage.append(tree)
+            self.stages_.append(stage)
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if not self.stages_:
+            raise RuntimeError("model is not fitted; call fit() first")
+        x = np.asarray(x, dtype=np.float64)
+        logits = np.tile(self.base_score_, (len(x), 1))
+        for stage in self.stages_:
+            for k, tree in enumerate(stage):
+                logits[:, k] += self.learning_rate * tree.predict(x)
+        return logits
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return _softmax(self.decision_function(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.classes_[self.decision_function(x).argmax(axis=1)]

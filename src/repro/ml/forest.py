@@ -1,0 +1,70 @@
+"""Random forest classifier (the 'RF' model of Fig 12)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier:
+    """Bagged CART trees with per-split feature subsampling."""
+
+    def __init__(self, n_estimators: int = 20, max_depth: int = 8,
+                 min_samples_split: int = 2,
+                 max_features: Optional[str] = "sqrt", seed: int = 0):
+        if n_estimators < 1:
+            raise ValueError("need at least one tree")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_ = []
+
+    def _resolve_max_features(self, n_features: int) -> Optional[int]:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(self.max_features, int):
+            return min(self.max_features, n_features)
+        raise ValueError(f"unsupported max_features {self.max_features!r}")
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        rng = np.random.default_rng(self.seed)
+        self.classes_ = np.unique(y)
+        max_features = self._resolve_max_features(x.shape[1])
+        self.trees_ = []
+        for i in range(self.n_estimators):
+            idx = rng.integers(0, len(x), size=len(x))  # bootstrap sample
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=max_features,
+                rng=np.random.default_rng(self.seed + 1000 + i),
+            )
+            tree.fit(x[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("model is not fitted; call fit() first")
+        total = np.zeros((len(x), len(self.classes_)))
+        for tree in self.trees_:
+            # Trees may have seen a subset of classes in their bootstrap;
+            # align their probability columns to the forest's classes.
+            probs = tree.predict_proba(x)
+            cols = np.searchsorted(self.classes_, tree.classes_)
+            total[:, cols] += probs
+        return total / len(self.trees_)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.classes_[self.predict_proba(x).argmax(axis=1)]

@@ -1,0 +1,63 @@
+"""Multinomial logistic regression (the 'LR' model of Fig 12).
+
+Softmax regression trained by full-batch gradient descent with L2
+regularisation; inputs should be standardised (see
+:class:`repro.ml.preprocessing.StandardScaler`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LogisticRegression"]
+
+
+class LogisticRegression:
+    def __init__(self, lr: float = 0.5, n_iter: int = 300, l2: float = 1e-4,
+                 seed: int = 0):
+        if n_iter < 1:
+            raise ValueError("need at least one iteration")
+        self.lr = lr
+        self.n_iter = n_iter
+        self.l2 = l2
+        self.seed = seed
+        self.weights_ = None
+        self.bias_ = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        self.classes_ = np.unique(y)
+        n_classes = len(self.classes_)
+        index = {c: i for i, c in enumerate(self.classes_)}
+        onehot = np.zeros((len(y), n_classes))
+        onehot[np.arange(len(y)), [index[v] for v in y]] = 1.0
+
+        rng = np.random.default_rng(self.seed)
+        self.weights_ = rng.normal(0, 0.01, size=(x.shape[1], n_classes))
+        self.bias_ = np.zeros(n_classes)
+        n = len(x)
+        for _ in range(self.n_iter):
+            probs = self._softmax(x @ self.weights_ + self.bias_)
+            error = probs - onehot
+            grad_w = x.T @ error / n + self.l2 * self.weights_
+            grad_b = error.mean(axis=0)
+            self.weights_ -= self.lr * grad_w
+            self.bias_ -= self.lr * grad_b
+        return self
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        e = np.exp(shifted)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        x = np.asarray(x, dtype=np.float64)
+        return self._softmax(x @ self.weights_ + self.bias_)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        probs = self.predict_proba(x)
+        return self.classes_[probs.argmax(axis=1)]

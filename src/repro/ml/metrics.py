@@ -1,0 +1,40 @@
+"""Classifier evaluation metrics."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["accuracy_score", "confusion_matrix", "macro_f1_score"]
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = np.asarray(y_true), np.asarray(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError("label vectors must be aligned")
+    if len(y_true) == 0:
+        raise ValueError("cannot score an empty prediction")
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    y_true, y_pred = np.asarray(y_true), np.asarray(y_pred)
+    classes = np.unique(np.concatenate([y_true, y_pred]))
+    index = {c: i for i, c in enumerate(classes)}
+    matrix = np.zeros((len(classes), len(classes)), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def macro_f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    matrix = confusion_matrix(y_true, y_pred)
+    f1s = []
+    for k in range(len(matrix)):
+        tp = matrix[k, k]
+        fp = matrix[:, k].sum() - tp
+        fn = matrix[k, :].sum() - tp
+        denom = 2 * tp + fp + fn
+        f1s.append(2 * tp / denom if denom else 0.0)
+    return float(np.mean(f1s))

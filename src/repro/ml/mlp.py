@@ -1,0 +1,65 @@
+"""Multi-layer perceptron classifier (the 'MLP' model of Fig 12),
+built on the repo's autograd substrate."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..nn import Adam, Dense, Sequential, cross_entropy, grad, no_grad, tensor
+
+__all__ = ["MLPClassifier"]
+
+
+class MLPClassifier:
+    def __init__(self, hidden: Tuple[int, ...] = (32, 16), lr: float = 0.01,
+                 n_epochs: int = 60, batch_size: int = 64, seed: int = 0):
+        if n_epochs < 1:
+            raise ValueError("need at least one epoch")
+        self.hidden = tuple(hidden)
+        self.lr = lr
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self._net = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        self.classes_ = np.unique(y)
+        index = {c: i for i, c in enumerate(self.classes_)}
+        encoded = np.array([index[v] for v in y])
+
+        rng = np.random.default_rng(self.seed)
+        sizes = (x.shape[1],) + self.hidden + (len(self.classes_),)
+        layers = []
+        for i in range(len(sizes) - 1):
+            activation = "relu" if i < len(sizes) - 2 else "linear"
+            layers.append(Dense(sizes[i], sizes[i + 1], activation=activation,
+                                rng=rng))
+        self._net = Sequential(*layers)
+        params = self._net.parameters()
+        opt = Adam(params, lr=self.lr, beta1=0.9)
+
+        n = len(x)
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start:start + self.batch_size]
+                loss = cross_entropy(self._net(tensor(x[idx])), encoded[idx])
+                opt.step(grad(loss, params))
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self._net is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        with no_grad():
+            logits = self._net(tensor(np.asarray(x, dtype=np.float64))).data
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        e = np.exp(shifted)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        probs = self.predict_proba(x)
+        return self.classes_[probs.argmax(axis=1)]

@@ -1,0 +1,45 @@
+"""Feature preprocessing helpers for the classifier suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "train_features_flow"]
+
+
+class StandardScaler:
+    """Standardise features to zero mean / unit variance."""
+
+    def __init__(self):
+        self.mean_ = None
+        self.scale_ = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=np.float64)
+        self.mean_ = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale[scale == 0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted; call fit() first")
+        return (np.asarray(x, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+
+def train_features_flow(trace) -> np.ndarray:
+    """The prediction-task feature set from §6.2 Finding 2: port number,
+    protocol, bytes/flow, packets/flow, and flow duration.  Counts are
+    log-scaled to tame their heavy tails."""
+    return np.column_stack([
+        trace.dst_port.astype(np.float64),
+        trace.src_port.astype(np.float64),
+        trace.protocol.astype(np.float64),
+        np.log1p(trace.bytes.astype(np.float64)),
+        np.log1p(trace.packets.astype(np.float64)),
+        np.log1p(trace.duration.astype(np.float64)),
+    ])

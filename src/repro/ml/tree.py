@@ -1,0 +1,219 @@
+"""CART decision trees (classification and regression) from scratch.
+
+These are the 'DT' model of the paper's traffic-type prediction task
+(Fig 12) and the base learners for the random forest and gradient
+boosting models.  Split search is vectorised per feature: candidate
+thresholds are midpoints between consecutive sorted unique values and
+impurities are computed from cumulative class counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DecisionTreeClassifier", "DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: Optional[np.ndarray] = None  # class probs or scalar prediction
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split_gini(x: np.ndarray, y: np.ndarray, n_classes: int,
+                     feature_indices: np.ndarray):
+    """Return (feature, threshold, gain) of the best Gini split, or None."""
+    n = len(y)
+    counts_total = np.bincount(y, minlength=n_classes).astype(np.float64)
+    gini_parent = 1.0 - ((counts_total / n) ** 2).sum()
+    best = None
+    best_gain = 1e-12
+    for f in feature_indices:
+        order = np.argsort(x[:, f], kind="mergesort")
+        xf, yf = x[order, f], y[order]
+        # one-hot cumulative class counts at each prefix
+        onehot = np.zeros((n, n_classes))
+        onehot[np.arange(n), yf] = 1.0
+        left_counts = np.cumsum(onehot, axis=0)
+        # valid split positions: between distinct consecutive values
+        distinct = xf[1:] != xf[:-1]
+        if not distinct.any():
+            continue
+        positions = np.nonzero(distinct)[0]  # split after index i
+        nl = (positions + 1).astype(np.float64)
+        nr = n - nl
+        lc = left_counts[positions]
+        rc = counts_total - lc
+        gini_left = 1.0 - ((lc / nl[:, None]) ** 2).sum(axis=1)
+        gini_right = 1.0 - ((rc / nr[:, None]) ** 2).sum(axis=1)
+        weighted = (nl * gini_left + nr * gini_right) / n
+        gains = gini_parent - weighted
+        i = int(np.argmax(gains))
+        if gains[i] > best_gain:
+            best_gain = gains[i]
+            pos = positions[i]
+            best = (int(f), float((xf[pos] + xf[pos + 1]) / 2.0), float(gains[i]))
+    return best
+
+
+def _best_split_mse(x: np.ndarray, y: np.ndarray, feature_indices: np.ndarray):
+    """Return (feature, threshold, gain) minimising weighted variance."""
+    n = len(y)
+    total_sum, total_sq = y.sum(), (y**2).sum()
+    var_parent = total_sq / n - (total_sum / n) ** 2
+    best = None
+    best_gain = 1e-12
+    for f in feature_indices:
+        order = np.argsort(x[:, f], kind="mergesort")
+        xf, yf = x[order, f], y[order]
+        csum = np.cumsum(yf)
+        csq = np.cumsum(yf**2)
+        distinct = xf[1:] != xf[:-1]
+        if not distinct.any():
+            continue
+        positions = np.nonzero(distinct)[0]
+        nl = (positions + 1).astype(np.float64)
+        nr = n - nl
+        sl, sql = csum[positions], csq[positions]
+        sr, sqr = total_sum - sl, total_sq - sql
+        var_left = sql / nl - (sl / nl) ** 2
+        var_right = sqr / nr - (sr / nr) ** 2
+        weighted = (nl * var_left + nr * var_right) / n
+        gains = var_parent - weighted
+        i = int(np.argmax(gains))
+        if gains[i] > best_gain:
+            best_gain = gains[i]
+            pos = positions[i]
+            best = (int(f), float((xf[pos] + xf[pos + 1]) / 2.0), float(gains[i]))
+    return best
+
+
+class _BaseTree:
+    def __init__(self, max_depth: int = 8, min_samples_split: int = 2,
+                 max_features: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = max(2, min_samples_split)
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng(0)
+        self._root: Optional[_Node] = None
+        self.n_features_: Optional[int] = None
+
+    def _feature_subset(self, n_features: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= n_features:
+            return np.arange(n_features)
+        return self.rng.choice(n_features, size=self.max_features, replace=False)
+
+    def _check_fitted(self):
+        if self._root is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+
+    def _predict_leaf(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.n_features_:
+            raise ValueError("prediction input has the wrong shape")
+        out = np.empty((len(x),) + self._root.value.shape)
+        # Iterative traversal grouped by node keeps this vectorised-ish.
+        stack = [(self._root, np.arange(len(x)))]
+        while stack:
+            node, idx = stack.pop()
+            if len(idx) == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.value
+                continue
+            go_left = x[idx, node.feature] <= node.threshold
+            stack.append((node.left, idx[go_left]))
+            stack.append((node.right, idx[~go_left]))
+        return out
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """Gini-impurity CART classifier."""
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if len(x) != len(y) or len(x) == 0:
+            raise ValueError("x and y must be non-empty and aligned")
+        self.classes_ = np.unique(y)
+        self._class_index = {c: i for i, c in enumerate(self.classes_)}
+        encoded = np.array([self._class_index[v] for v in y])
+        self.n_features_ = x.shape[1]
+        self._root = self._grow(x, encoded, depth=0)
+        return self
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        counts = np.bincount(y, minlength=len(self.classes_)).astype(np.float64)
+        return counts / counts.sum()
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=self._leaf_value(y))
+        if (depth >= self.max_depth or len(y) < self.min_samples_split
+                or len(np.unique(y)) == 1):
+            return node
+        split = _best_split_gini(
+            x, y, len(self.classes_), self._feature_subset(x.shape[1])
+        )
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        mask = x[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return node
+        node.feature, node.threshold = feature, threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return self._predict_leaf(x)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        probs = self.predict_proba(x)
+        return self.classes_[probs.argmax(axis=1)]
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """Variance-reduction CART regressor (gradient boosting base learner)."""
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(x) != len(y) or len(x) == 0:
+            raise ValueError("x and y must be non-empty and aligned")
+        self.n_features_ = x.shape[1]
+        self._root = self._grow(x, y, depth=0)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=np.array(y.mean()))
+        if depth >= self.max_depth or len(y) < self.min_samples_split:
+            return node
+        split = _best_split_mse(x, y, self._feature_subset(x.shape[1]))
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        mask = x[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return node
+        node.feature, node.threshold = feature, threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self._predict_leaf(x).reshape(len(x))

@@ -1,0 +1,9 @@
+"""NetML-style header-based anomaly detection (paper App #3)."""
+
+from .features import NETML_MODES, eligible_flow_count, flow_features
+from .detector import anomaly_ratio, mode_anomaly_ratios, relative_errors
+
+__all__ = [
+    "NETML_MODES", "flow_features", "eligible_flow_count",
+    "anomaly_ratio", "mode_anomaly_ratios", "relative_errors",
+]

@@ -1,0 +1,54 @@
+"""Minimal neural network substrate (numpy autograd with double backprop).
+
+The original NetShare was built on TensorFlow 1.15; this package provides
+the equivalent primitives needed by the GAN stack and classifier suite:
+tensors with reverse-mode autodiff (including gradients-of-gradients for
+the WGAN-GP penalty), dense/GRU layers, losses, and Adam/SGD optimizers.
+"""
+
+from .autograd import (
+    Tensor,
+    concatenate,
+    grad,
+    is_grad_enabled,
+    maximum,
+    minimum,
+    no_grad,
+    stack,
+    tensor,
+    where,
+)
+from .functional import (
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    gumbel_softmax,
+    l2_norm,
+    log_softmax,
+    mse_loss,
+    softmax,
+)
+from .layers import (
+    GRU,
+    LSTM,
+    Dense,
+    Embedding,
+    GRUCell,
+    LayerNorm,
+    LSTMCell,
+    Module,
+    Parameter,
+    Sequential,
+)
+from .optim import SGD, Adam, Optimizer, clip_global_norm
+
+__all__ = [
+    "Tensor", "tensor", "grad", "no_grad", "is_grad_enabled",
+    "concatenate", "stack", "where", "maximum", "minimum",
+    "softmax", "log_softmax", "cross_entropy",
+    "binary_cross_entropy_with_logits", "mse_loss", "gumbel_softmax",
+    "l2_norm",
+    "Module", "Parameter", "Dense", "Sequential", "GRUCell", "GRU",
+    "LSTMCell", "LSTM",
+    "LayerNorm", "Embedding",
+    "Optimizer", "SGD", "Adam", "clip_global_norm",
+]

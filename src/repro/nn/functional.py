@@ -1,0 +1,81 @@
+"""Functional building blocks: activations, losses, softmax utilities."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .autograd import Tensor, maximum
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "gumbel_softmax",
+    "l2_norm",
+]
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    shifted = logits - logits.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    shifted = logits - logits.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy of integer ``labels`` under ``logits``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(len(labels)), labels]
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets) -> Tensor:
+    """Numerically stable BCE: max(x,0) - x*t + log(1 + exp(-|x|))."""
+    targets = targets if isinstance(targets, Tensor) else Tensor(targets)
+    zeros = Tensor(np.zeros(logits.shape))
+    loss = maximum(logits, zeros) - logits * targets + (
+        (-logits.abs()).exp() + 1.0
+    ).log()
+    return loss.mean()
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    return (prediction - target).square().mean()
+
+
+def gumbel_softmax(
+    logits: Tensor,
+    temperature: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+    hard: bool = False,
+) -> Tensor:
+    """Sample a (relaxed) one-hot from ``logits`` with Gumbel noise.
+
+    Used by the GAN generators to emit categorical fields while keeping
+    the sampling step differentiable.  ``hard=True`` returns a straight-
+    through one-hot (forward one-hot, backward soft).
+    """
+    rng = rng or np.random.default_rng()
+    gumbel = -np.log(-np.log(rng.uniform(1e-12, 1.0, size=logits.shape)))
+    soft = softmax((logits + Tensor(gumbel)) * (1.0 / temperature), axis=-1)
+    if not hard:
+        return soft
+    index = soft.data.argmax(axis=-1)
+    one_hot = np.zeros_like(soft.data)
+    np.put_along_axis(one_hot, index[..., None], 1.0, axis=-1)
+    # Straight-through estimator: one_hot + soft - soft.detach()
+    return Tensor(one_hot) + soft - soft.detach()
+
+
+def l2_norm(t: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    return (t.square().sum(axis=axis) + eps).sqrt()

@@ -1,0 +1,95 @@
+"""Optimizers operating on lists of parameters with externally computed
+gradients (the functional :func:`repro.nn.autograd.grad` API).
+
+``step(grads)`` takes gradients aligned with the parameter list.  This
+layout makes DP-SGD (which post-processes per-example gradients before
+the update) a thin wrapper rather than a separate optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .autograd import Tensor
+from .layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_global_norm"]
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = list(params)
+        self.lr = lr
+
+    def step(self, grads: Sequence[Tensor]) -> None:
+        raise NotImplementedError
+
+    def _check(self, grads: Sequence[Tensor]) -> List[np.ndarray]:
+        if len(grads) != len(self.params):
+            raise ValueError(
+                f"got {len(grads)} gradients for {len(self.params)} parameters"
+            )
+        return [g.data if isinstance(g, Tensor) else np.asarray(g) for g in grads]
+
+
+class SGD(Optimizer):
+    """Plain SGD with optional momentum."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self, grads: Sequence[Tensor]) -> None:
+        grads = self._check(grads)
+        for p, g, v in zip(self.params, grads, self.velocity):
+            v *= self.momentum
+            v += g
+            p.data = p.data - self.lr * v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015), the optimizer DoppelGANger trains with."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float = 1e-3,
+                 beta1: float = 0.5, beta2: float = 0.999, eps: float = 1e-8):
+        super().__init__(params, lr)
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self.m = [np.zeros_like(p.data) for p in self.params]
+        self.v = [np.zeros_like(p.data) for p in self.params]
+        self.t = 0
+
+    def step(self, grads: Sequence[Tensor]) -> None:
+        grads = self._check(grads)
+        self.t += 1
+        bias1 = 1.0 - self.beta1**self.t
+        bias2 = 1.0 - self.beta2**self.t
+        for p, g, m, v in zip(self.params, grads, self.m, self.v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p.data = p.data - self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def reset_state(self) -> None:
+        """Forget moment estimates (used when fine-tuning a warm start)."""
+        for m, v in zip(self.m, self.v):
+            m[...] = 0.0
+            v[...] = 0.0
+        self.t = 0
+
+
+def clip_global_norm(grads: Sequence[np.ndarray], max_norm: float) -> List[np.ndarray]:
+    """Scale gradients so their joint L2 norm is at most ``max_norm``."""
+    total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+    if total <= max_norm or total == 0.0:
+        return [np.asarray(g) for g in grads]
+    scale = max_norm / total
+    return [g * scale for g in grads]

@@ -1,0 +1,119 @@
+"""Rényi differential privacy accountant for DP-SGD.
+
+NetShare's DP training uses DP-SGD (clip + Gaussian noise); the privacy
+cost of T steps with sampling rate q and noise multiplier sigma is
+tracked in Rényi DP and converted to (epsilon, delta)-DP, as
+tensorflow-privacy did for the original implementation.
+
+The subsampled-Gaussian RDP bound at integer order alpha follows
+Mironov, Talwar & Zhang (2019) / Abadi et al. (2016)::
+
+    RDP(alpha) = 1/(alpha-1) * log( sum_{k=0}^{alpha} C(alpha,k)
+                 (1-q)^(alpha-k) q^k exp(k(k-1)/(2 sigma^2)) )
+
+computed in log space for stability.  Conversion:
+``eps = min_alpha [ T * RDP(alpha) + log(1/delta)/(alpha-1) ]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+from scipy.special import gammaln, logsumexp
+
+__all__ = ["RdpAccountant", "compute_epsilon", "noise_multiplier_for_epsilon"]
+
+DEFAULT_ORDERS = tuple(range(2, 65))
+
+
+def _log_binom(n: int, k: np.ndarray) -> np.ndarray:
+    return gammaln(n + 1) - gammaln(k + 1) - gammaln(n - k + 1)
+
+
+def _rdp_subsampled_gaussian(q: float, sigma: float, alpha: int) -> float:
+    """Per-step RDP at integer order alpha."""
+    if q == 0.0:
+        return 0.0
+    if q == 1.0:
+        # No subsampling amplification: plain Gaussian mechanism.
+        return alpha / (2.0 * sigma**2)
+    k = np.arange(alpha + 1, dtype=np.float64)
+    log_terms = (
+        _log_binom(alpha, k)
+        + (alpha - k) * np.log1p(-q)
+        + k * np.log(q)
+        + k * (k - 1) / (2.0 * sigma**2)
+    )
+    return float(logsumexp(log_terms) / (alpha - 1))
+
+
+class RdpAccountant:
+    """Accumulates RDP over DP-SGD steps and reports (eps, delta)."""
+
+    def __init__(self, orders: Sequence[int] = DEFAULT_ORDERS):
+        orders = tuple(int(a) for a in orders)
+        if any(a < 2 for a in orders):
+            raise ValueError("RDP orders must be integers >= 2")
+        self.orders = orders
+        self._rdp = np.zeros(len(orders))
+
+    def step(self, noise_multiplier: float, sampling_rate: float,
+             num_steps: int = 1) -> "RdpAccountant":
+        """Record ``num_steps`` subsampled-Gaussian DP-SGD steps."""
+        if noise_multiplier <= 0:
+            raise ValueError("noise multiplier must be positive")
+        if not 0 <= sampling_rate <= 1:
+            raise ValueError("sampling rate must be in [0, 1]")
+        if num_steps < 0:
+            raise ValueError("cannot take a negative number of steps")
+        increment = np.array([
+            _rdp_subsampled_gaussian(sampling_rate, noise_multiplier, a)
+            for a in self.orders
+        ])
+        self._rdp += num_steps * increment
+        return self
+
+    def get_epsilon(self, delta: float = 1e-5) -> float:
+        """Best (epsilon, delta) conversion over the order grid."""
+        if not 0 < delta < 1:
+            raise ValueError("delta must be in (0, 1)")
+        orders = np.array(self.orders, dtype=np.float64)
+        eps = self._rdp + np.log(1.0 / delta) / (orders - 1.0)
+        return float(eps.min())
+
+
+def compute_epsilon(noise_multiplier: float, sampling_rate: float,
+                    num_steps: int, delta: float = 1e-5,
+                    orders: Sequence[int] = DEFAULT_ORDERS) -> float:
+    """One-shot epsilon for a fixed DP-SGD configuration."""
+    accountant = RdpAccountant(orders)
+    accountant.step(noise_multiplier, sampling_rate, num_steps)
+    return accountant.get_epsilon(delta)
+
+
+def noise_multiplier_for_epsilon(
+    target_epsilon: float,
+    sampling_rate: float,
+    num_steps: int,
+    delta: float = 1e-5,
+    low: float = 0.05,
+    high: float = 200.0,
+) -> float:
+    """Binary-search the noise multiplier hitting a target epsilon.
+
+    This is how the privacy-fidelity benches sweep Fig 5's x-axis:
+    given a desired epsilon, find the sigma to train with.
+    """
+    if target_epsilon <= 0:
+        raise ValueError("target epsilon must be positive")
+    if compute_epsilon(high, sampling_rate, num_steps, delta) > target_epsilon:
+        raise ValueError("target epsilon unreachable even with maximum noise")
+    for _ in range(60):
+        mid = np.sqrt(low * high)  # geometric bisection over decades
+        eps = compute_epsilon(mid, sampling_rate, num_steps, delta)
+        if eps > target_epsilon:
+            low = mid
+        else:
+            high = mid
+    return float(high)

@@ -1,0 +1,110 @@
+"""DP-SGD gradient privatisation (Abadi et al. 2016).
+
+NetShare's strawman DP training runs DP-SGD end-to-end; its Insight 4
+runs DP-SGD only during fine-tuning from a public pretrained model.
+Either way the per-step mechanism is the same: clip each *per-example*
+gradient to L2 norm C, sum, add N(0, (C*sigma)^2) noise, and average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.autograd import Tensor, grad
+from ..nn.layers import Parameter
+from ..nn.optim import clip_global_norm
+from .accountant import RdpAccountant
+
+__all__ = ["DpSgdConfig", "privatize_gradients", "DpGradientComputer"]
+
+
+@dataclass
+class DpSgdConfig:
+    """DP-SGD hyperparameters."""
+
+    clip_norm: float = 1.0
+    noise_multiplier: float = 1.0
+    delta: float = 1e-5
+
+    def __post_init__(self):
+        if self.clip_norm <= 0:
+            raise ValueError("clip norm must be positive")
+        if self.noise_multiplier < 0:
+            raise ValueError("noise multiplier must be non-negative")
+
+
+def privatize_gradients(
+    per_example_grads: Sequence[Sequence[np.ndarray]],
+    config: DpSgdConfig,
+    rng: np.random.Generator,
+) -> List[np.ndarray]:
+    """Clip each example's gradient list, sum, add noise, average.
+
+    ``per_example_grads[i][p]`` is example i's gradient for parameter p.
+    """
+    if not per_example_grads:
+        raise ValueError("need at least one example")
+    n = len(per_example_grads)
+    totals = [np.zeros_like(g) for g in per_example_grads[0]]
+    for example in per_example_grads:
+        clipped = clip_global_norm(list(example), config.clip_norm)
+        for total, g in zip(totals, clipped):
+            total += g
+    scale = config.noise_multiplier * config.clip_norm
+    noisy = [
+        (total + rng.normal(0.0, scale, size=total.shape)) / n
+        for total in totals
+    ]
+    return noisy
+
+
+class DpGradientComputer:
+    """Computes privatized gradients for a per-example loss function.
+
+    ``loss_fn(index)`` must return the scalar loss Tensor of training
+    example ``index``.  Microbatching (looping over examples) is the
+    per-example-gradient strategy — slow but exact, and fine at the
+    scale this repo trains at.  The accountant tracks cumulative
+    (epsilon, delta) as steps are taken.
+    """
+
+    def __init__(self, params: Sequence[Parameter], config: DpSgdConfig,
+                 dataset_size: int, seed: int = 0):
+        if dataset_size < 1:
+            raise ValueError("dataset size must be positive")
+        self.params = list(params)
+        self.config = config
+        self.dataset_size = dataset_size
+        self.rng = np.random.default_rng(seed)
+        self.accountant = RdpAccountant()
+        self.steps_taken = 0
+
+    def step_gradients(
+        self, loss_fn: Callable[[int], Tensor], batch_indices: Sequence[int]
+    ) -> List[np.ndarray]:
+        """Return noisy averaged gradients for one DP-SGD step."""
+        batch_indices = list(batch_indices)
+        if not batch_indices:
+            raise ValueError("batch must be non-empty")
+        per_example = []
+        for index in batch_indices:
+            loss = loss_fn(index)
+            grads = grad(loss, self.params)
+            per_example.append([g.data for g in grads])
+        noisy = privatize_gradients(per_example, self.config, self.rng)
+        if self.config.noise_multiplier > 0:
+            self.accountant.step(
+                self.config.noise_multiplier,
+                sampling_rate=len(batch_indices) / self.dataset_size,
+            )
+        self.steps_taken += 1
+        return noisy
+
+    def spent_epsilon(self) -> float:
+        """(epsilon, delta)-DP spent so far."""
+        if self.steps_taken == 0 or self.config.noise_multiplier == 0:
+            return float("inf") if self.config.noise_multiplier == 0 else 0.0
+        return self.accountant.get_epsilon(self.config.delta)

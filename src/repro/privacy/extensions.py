@@ -1,0 +1,81 @@
+"""Optional domain-specific privacy extensions (paper §5).
+
+The paper implements two post-hoc extensions applied to generated
+traces:
+
+1. *IP transformation*: map synthetic IPs into a user-specified range
+   (default: the RFC1918 10.0.0.0/8 private range), preserving the
+   popularity structure while detaching addresses from any real space.
+2. *Attribute retraining*: resample a chosen attribute (IPs, ports,
+   protocol) to a user-desired distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..datasets.records import ip_to_int
+
+__all__ = ["transform_ips", "retrain_attribute"]
+
+
+def transform_ips(trace, base: str = "10.0.0.0", prefix_len: int = 8,
+                  seed: int = 0):
+    """Remap src/dst IPs into the range ``base``/``prefix_len``.
+
+    Distinct original addresses stay distinct (a random bijection into
+    the target host space), so popularity ranks — and therefore heavy
+    hitters — are preserved.
+    """
+    if not 0 < prefix_len < 32:
+        raise ValueError("prefix length must be in (0, 32)")
+    host_bits = 32 - prefix_len
+    space = 1 << host_bits
+    base_int = ip_to_int(base) & (~(space - 1) & 0xFFFFFFFF)
+    rng = np.random.default_rng(seed)
+
+    originals = np.unique(np.concatenate([trace.src_ip, trace.dst_ip]))
+    if len(originals) > space:
+        raise ValueError(
+            f"{len(originals)} distinct IPs do not fit in a /{prefix_len}"
+        )
+    hosts = rng.choice(space, size=len(originals), replace=False)
+    mapping = {
+        int(orig): np.uint32(base_int + int(h))
+        for orig, h in zip(originals, hosts)
+    }
+    out = trace.subset(slice(None))
+    out.src_ip = np.array([mapping[int(v)] for v in trace.src_ip],
+                          dtype=np.uint32)
+    out.dst_ip = np.array([mapping[int(v)] for v in trace.dst_ip],
+                          dtype=np.uint32)
+    return out
+
+
+def retrain_attribute(trace, attribute: str,
+                      distribution: Dict[int, float], seed: int = 0):
+    """Resample ``attribute`` i.i.d. from a user-specified distribution.
+
+    ``distribution`` maps value -> probability (normalised internally).
+    """
+    if attribute not in ("src_port", "dst_port", "protocol", "src_ip", "dst_ip"):
+        raise ValueError(f"unsupported attribute {attribute!r}")
+    if not distribution:
+        raise ValueError("distribution must be non-empty")
+    values = np.array(sorted(distribution), dtype=np.int64)
+    probs = np.array([distribution[v] for v in values], dtype=np.float64)
+    if np.any(probs < 0):
+        raise ValueError("probabilities must be non-negative")
+    total = probs.sum()
+    if total <= 0:
+        raise ValueError("distribution has zero mass")
+    probs = probs / total
+
+    rng = np.random.default_rng(seed)
+    out = trace.subset(slice(None))
+    sampled = rng.choice(values, size=len(trace), p=probs)
+    dtype = np.uint32 if attribute.endswith("_ip") else np.int64
+    setattr(out, attribute, sampled.astype(dtype))
+    return out

@@ -1,0 +1,25 @@
+"""Sketch-based telemetry substrate (Fig 13's four algorithms)."""
+
+from .base import Sketch, UniversalHash, mix64
+from .countmin import CountMinSketch
+from .countsketch import CountSketch
+from .nitrosketch import NitroSketch
+from .univmon import UnivMonSketch
+from .elastic import ElasticSketch
+from .hyperloglog import HyperLogLog, distinct_count
+from .heavyhitter import (
+    SKETCH_FACTORIES,
+    exact_counts,
+    extract_keys,
+    heavy_hitter_estimation_error,
+    heavy_hitters,
+    relative_error_between_traces,
+)
+
+__all__ = [
+    "Sketch", "UniversalHash", "mix64",
+    "CountMinSketch", "CountSketch", "NitroSketch", "UnivMonSketch",
+    "ElasticSketch", "HyperLogLog", "distinct_count",
+    "SKETCH_FACTORIES", "exact_counts", "extract_keys", "heavy_hitters",
+    "heavy_hitter_estimation_error", "relative_error_between_traces",
+]

@@ -1,0 +1,79 @@
+"""Shared machinery for sketch data structures.
+
+All sketches hash 64-bit integer keys (IPs, or mixed five-tuple hashes)
+with multiply-shift universal hashing.  Each sketch exposes
+``update(key, count)``, ``update_many(keys)`` and ``estimate(key)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Sketch", "UniversalHash", "mix64"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finaliser: decorrelate structured integer keys."""
+    x = np.asarray(x, dtype=np.uint64).copy()
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x &= np.uint64(_MASK64)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x &= np.uint64(_MASK64)
+    x ^= x >> np.uint64(31)
+    return x
+
+
+class UniversalHash:
+    """A family of multiply-shift hash functions h: u64 -> [0, width)."""
+
+    def __init__(self, width: int, depth: int, seed: int):
+        if width < 1 or depth < 1:
+            raise ValueError("width and depth must be positive")
+        rng = np.random.default_rng(seed)
+        # Odd multipliers for multiply-shift hashing.
+        self.multipliers = (
+            rng.integers(1, _MASK64, size=depth, dtype=np.uint64) | np.uint64(1)
+        )
+        self.offsets = rng.integers(0, _MASK64, size=depth, dtype=np.uint64)
+        self.width = width
+        self.depth = depth
+
+    def bucket(self, keys: np.ndarray) -> np.ndarray:
+        """Return (depth, n) bucket indices for keys."""
+        mixed = mix64(keys)
+        h = (mixed[None, :] * self.multipliers[:, None] + self.offsets[:, None])
+        h &= np.uint64(_MASK64)
+        return ((h >> np.uint64(33)) % np.uint64(self.width)).astype(np.int64)
+
+    def sign(self, keys: np.ndarray, row: int) -> np.ndarray:
+        """Return ±1 signs for keys (used by Count Sketch)."""
+        mixed = mix64(np.asarray(keys, dtype=np.uint64) + np.uint64(row * 7919 + 13))
+        return np.where((mixed & np.uint64(1)) == 1, 1.0, -1.0)
+
+
+class Sketch:
+    """Abstract frequency sketch over integer keys."""
+
+    def update(self, key: int, count: float = 1.0) -> None:
+        self.update_many(np.array([key], dtype=np.uint64),
+                         np.array([count], dtype=np.float64))
+
+    def update_many(self, keys: np.ndarray, counts=None) -> None:
+        raise NotImplementedError
+
+    def estimate(self, key: int) -> float:
+        return float(self.estimate_many(np.array([key], dtype=np.uint64))[0])
+
+    def estimate_many(self, keys: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def memory_counters(self) -> int:
+        """Number of counters the sketch occupies (for memory parity)."""
+        raise NotImplementedError

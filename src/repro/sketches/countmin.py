@@ -1,0 +1,37 @@
+"""Count-Min Sketch (Cormode & Muthukrishnan 2005) — 'CMS' in Fig 13."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Sketch, UniversalHash
+
+__all__ = ["CountMinSketch"]
+
+
+class CountMinSketch(Sketch):
+    """d rows of w counters; estimate = min over rows (biased upward)."""
+
+    def __init__(self, width: int = 1024, depth: int = 4, seed: int = 0):
+        self.hash = UniversalHash(width, depth, seed)
+        self.table = np.zeros((depth, width), dtype=np.float64)
+
+    def update_many(self, keys: np.ndarray, counts=None) -> None:
+        keys = np.asarray(keys, dtype=np.uint64)
+        if counts is None:
+            counts = np.ones(len(keys), dtype=np.float64)
+        buckets = self.hash.bucket(keys)
+        for row in range(self.hash.depth):
+            np.add.at(self.table[row], buckets[row], counts)
+
+    def estimate_many(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        buckets = self.hash.bucket(keys)
+        estimates = np.stack(
+            [self.table[row, buckets[row]] for row in range(self.hash.depth)]
+        )
+        return estimates.min(axis=0)
+
+    @property
+    def memory_counters(self) -> int:
+        return self.table.size

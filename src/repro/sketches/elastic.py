@@ -1,0 +1,97 @@
+"""Elastic Sketch (Yang et al., SIGCOMM 2018).
+
+Cited by the paper ([78]) as a telemetry approach that exploits
+workload structure ("heavy flows") — exactly the property synthetic
+traces must preserve.  The sketch separates traffic into a *heavy
+part* (a hash table with vote-based eviction holding elephant flows
+exactly) and a *light part* (a small count-min sketch absorbing mice
+and evicted residue).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .base import Sketch, mix64
+from .countmin import CountMinSketch
+
+__all__ = ["ElasticSketch"]
+
+
+class _HeavyBucket:
+    __slots__ = ("key", "positive", "negative")
+
+    def __init__(self):
+        self.key = None
+        self.positive = 0.0  # votes for the resident key
+        self.negative = 0.0  # votes against (other keys hashing here)
+
+
+class ElasticSketch(Sketch):
+    def __init__(self, heavy_buckets: int = 64, light_width: int = 512,
+                 light_depth: int = 3, eviction_threshold: float = 8.0,
+                 seed: int = 0):
+        if heavy_buckets < 1:
+            raise ValueError("need at least one heavy bucket")
+        if eviction_threshold <= 0:
+            raise ValueError("eviction threshold must be positive")
+        self.heavy = [_HeavyBucket() for _ in range(heavy_buckets)]
+        self.light = CountMinSketch(width=light_width, depth=light_depth,
+                                    seed=seed)
+        self.eviction_threshold = eviction_threshold
+        self._salt = np.uint64(seed * 0x9E3779B9 + 1)
+
+    def _bucket_of(self, key: int) -> int:
+        h = mix64(np.array([np.uint64(key) + self._salt], dtype=np.uint64))[0]
+        return int(h % np.uint64(len(self.heavy)))
+
+    def update(self, key: int, count: float = 1.0) -> None:
+        bucket = self.heavy[self._bucket_of(key)]
+        if bucket.key is None:
+            bucket.key = int(key)
+            bucket.positive = count
+            return
+        if bucket.key == int(key):
+            bucket.positive += count
+            return
+        bucket.negative += count
+        # Vote-based eviction: when strangers outvote the resident by
+        # the threshold ratio, the resident's count spills to the light
+        # part and the newcomer takes over.
+        if bucket.negative / max(bucket.positive, 1e-12) >= self.eviction_threshold:
+            self.light.update(bucket.key, bucket.positive)
+            bucket.key = int(key)
+            bucket.positive = count
+            bucket.negative = 0.0
+        else:
+            self.light.update(int(key), count)
+
+    def update_many(self, keys: np.ndarray, counts=None) -> None:
+        keys = np.asarray(keys, dtype=np.uint64)
+        if counts is None:
+            counts = np.ones(len(keys))
+        for k, c in zip(keys, counts):
+            self.update(int(k), float(c))
+
+    def estimate(self, key: int) -> float:
+        bucket = self.heavy[self._bucket_of(key)]
+        light = self.light.estimate(int(key))
+        if bucket.key == int(key):
+            return bucket.positive + light
+        return light
+
+    def estimate_many(self, keys: np.ndarray) -> np.ndarray:
+        return np.array([self.estimate(int(k)) for k in np.asarray(keys)])
+
+    def heavy_flows(self) -> Dict[int, float]:
+        """Flows currently resident in the heavy part."""
+        return {
+            b.key: b.positive for b in self.heavy if b.key is not None
+        }
+
+    @property
+    def memory_counters(self) -> int:
+        # Each heavy bucket holds key + two votes (3 counters).
+        return 3 * len(self.heavy) + self.light.memory_counters

@@ -1,0 +1,87 @@
+"""UnivMon (Liu et al., SIGCOMM 2016) — 'UnivMon' in Fig 13.
+
+Universal monitoring keeps L levels of Count Sketches; level l sees
+only keys whose hash has l leading one-bits (each level halves the
+substream).  G-sum statistics are computed bottom-up via the universal
+sketching recursion; for heavy-hitter *count estimation* (the Fig 13
+task) we estimate a key's frequency from the deepest level that sampled
+it, which is the standard UnivMon HH procedure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Sketch, UniversalHash, mix64
+from .countsketch import CountSketch
+
+__all__ = ["UnivMonSketch"]
+
+
+class UnivMonSketch(Sketch):
+    def __init__(self, width: int = 512, depth: int = 5, levels: int = 4,
+                 seed: int = 0):
+        if levels < 1:
+            raise ValueError("need at least one level")
+        self.levels = levels
+        self.sketches = [
+            CountSketch(width=width, depth=depth, seed=seed + 31 * l)
+            for l in range(levels)
+        ]
+        self._sample_seed = np.uint64(seed * 2654435761 + 97)
+
+    def _level_mask(self, keys: np.ndarray, level: int) -> np.ndarray:
+        """Keys sampled into `level`: hash has `level` leading one-bits."""
+        if level == 0:
+            return np.ones(len(keys), dtype=bool)
+        h = mix64(np.asarray(keys, dtype=np.uint64) + self._sample_seed)
+        top_bits = (h >> np.uint64(64 - level)).astype(np.uint64)
+        return top_bits == np.uint64((1 << level) - 1)
+
+    def update_many(self, keys: np.ndarray, counts=None) -> None:
+        keys = np.asarray(keys, dtype=np.uint64)
+        if counts is None:
+            counts = np.ones(len(keys), dtype=np.float64)
+        for level, sketch in enumerate(self.sketches):
+            mask = self._level_mask(keys, level)
+            if mask.any():
+                sketch.update_many(keys[mask], counts[mask])
+
+    def estimate_many(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        estimates = self.sketches[0].estimate_many(keys)
+        # Refine with deeper levels: a deeper level holds a sparser
+        # substream, so its estimate for a sampled heavy key has less
+        # collision noise. Use the deepest level that sampled the key.
+        for level in range(1, self.levels):
+            mask = self._level_mask(keys, level)
+            if mask.any():
+                deeper = self.sketches[level].estimate_many(keys[mask])
+                estimates[mask] = deeper
+        return estimates
+
+    def gsum(self, candidate_keys: np.ndarray, g=np.abs) -> float:
+        """Estimate sum_i g(f_i) via the universal sketching recursion,
+        using ``candidate_keys`` as each level's heavy-hitter set."""
+        candidate_keys = np.asarray(candidate_keys, dtype=np.uint64)
+        # Bottom level: Y_L = sum of g over its sampled heavy hitters.
+        values = None
+        for level in reversed(range(self.levels)):
+            mask = self._level_mask(candidate_keys, level)
+            hh = candidate_keys[mask]
+            freq = self.sketches[level].estimate_many(hh) if len(hh) else np.array([])
+            contribution = float(np.sum(g(freq))) if len(hh) else 0.0
+            if values is None:
+                values = contribution
+            else:
+                # Y_l = 2*Y_{l+1} + sum_{hh in level l} (1 - 2*sampled(hh)) g(f)
+                sampled_deeper = self._level_mask(hh, level + 1)
+                correction = float(
+                    np.sum((1.0 - 2.0 * sampled_deeper) * g(freq))
+                ) if len(hh) else 0.0
+                values = 2.0 * values + correction
+        return float(values)
+
+    @property
+    def memory_counters(self) -> int:
+        return sum(s.memory_counters for s in self.sketches)

@@ -1,0 +1,15 @@
+"""Downstream-task harnesses for the paper's three applications
+(§6.2 Finding 2): traffic-type prediction, sketch-based telemetry,
+and NetML anomaly detection."""
+
+from .anomaly import AnomalyResult, run_anomaly_task
+from .cardinality import CardinalityReport, per_source_fanout, run_cardinality_task
+from .prediction import PredictionResult, classifier_accuracy, run_prediction_task
+from .telemetry import DATASET_HH_MODE, TelemetryResult, run_telemetry_task
+
+__all__ = [
+    "PredictionResult", "run_prediction_task", "classifier_accuracy",
+    "TelemetryResult", "run_telemetry_task", "DATASET_HH_MODE",
+    "AnomalyResult", "run_anomaly_task",
+    "CardinalityReport", "run_cardinality_task", "per_source_fanout",
+]

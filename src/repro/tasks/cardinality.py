@@ -1,0 +1,79 @@
+"""Extension task: cardinality-structure preservation (§8 direction).
+
+Scan and superspreader detection — downstream uses the paper lists
+under future work — depend on *distinct counts*: distinct destination
+ports per source (port scans) and distinct peers per source
+(superspreaders).  A useful synthetic trace must preserve both the
+global cardinalities and the per-source tail that triggers detection.
+
+This harness measures, for real vs synthetic traces:
+
+* global distinct counts (src IPs, dst IPs, dst ports) via HyperLogLog;
+* the superspreader / scanner tails: the distribution of per-source
+  distinct-peer and distinct-port counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..metrics.divergence import earth_movers_distance
+from ..sketches.hyperloglog import distinct_count
+
+__all__ = ["CardinalityReport", "run_cardinality_task",
+           "per_source_fanout"]
+
+
+def per_source_fanout(trace, of: str = "dst_ip") -> np.ndarray:
+    """Distinct ``of``-values contacted by each source IP."""
+    if of not in ("dst_ip", "dst_port"):
+        raise ValueError("fanout target must be dst_ip or dst_port")
+    values = getattr(trace, of)
+    fanout: Dict[int, set] = {}
+    for src, val in zip(trace.src_ip.tolist(), values.tolist()):
+        fanout.setdefault(src, set()).add(val)
+    return np.array(sorted(len(v) for v in fanout.values()), dtype=float)
+
+
+@dataclass
+class CardinalityReport:
+    #: field -> (real HLL estimate, synthetic HLL estimate)
+    global_counts: Dict[str, tuple]
+    #: EMD between per-source distinct-peer distributions
+    superspreader_emd: float
+    #: EMD between per-source distinct-port distributions
+    scanner_emd: float
+
+    def summary(self) -> str:
+        lines = []
+        for field, (real, syn) in self.global_counts.items():
+            lines.append(f"distinct {field:<9}: real~{real:,.0f} "
+                         f"synthetic~{syn:,.0f}")
+        lines.append(f"superspreader fanout EMD = {self.superspreader_emd:.2f}")
+        lines.append(f"scanner port-fanout EMD  = {self.scanner_emd:.2f}")
+        return "\n".join(lines)
+
+
+def run_cardinality_task(real, synthetic,
+                         precision: int = 12) -> CardinalityReport:
+    """Compare cardinality structure between a real/synthetic pair."""
+    global_counts = {}
+    for field in ("src_ip", "dst_ip", "dst_port"):
+        global_counts[field] = (
+            distinct_count(getattr(real, field).astype(np.uint64),
+                           precision=precision),
+            distinct_count(getattr(synthetic, field).astype(np.uint64),
+                           precision=precision),
+        )
+    return CardinalityReport(
+        global_counts=global_counts,
+        superspreader_emd=earth_movers_distance(
+            per_source_fanout(real, "dst_ip"),
+            per_source_fanout(synthetic, "dst_ip")),
+        scanner_emd=earth_movers_distance(
+            per_source_fanout(real, "dst_port"),
+            per_source_fanout(synthetic, "dst_port")),
+    )

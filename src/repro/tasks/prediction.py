@@ -1,0 +1,106 @@
+"""App #1: flow-based traffic-type prediction (Fig 11/12, Table 3).
+
+Setup from the paper (Fig 11): real data A generates synthetic data B.
+Both are sorted by timestamp and split 80:20 into earlier-train /
+later-test.  Two evaluations:
+
+* *accuracy preservation* (Fig 12): train on synthetic B, test on the
+  real test split A'; compare against train-on-real/test-on-real;
+* *order preservation* (Table 3): Spearman correlation between the
+  classifier ranking obtained on real (train A / test A') and on
+  synthetic (train B / test B').
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from ..datasets.records import FlowTrace
+from ..datasets.splits import train_test_split_by_time
+from ..metrics.rank import rank_correlation_of_scores
+from ..ml import CLASSIFIER_FACTORIES, StandardScaler, accuracy_score, train_features_flow
+
+__all__ = ["PredictionResult", "run_prediction_task", "classifier_accuracy"]
+
+
+@dataclass
+class PredictionResult:
+    """Accuracies and rank correlations for one dataset."""
+
+    #: classifier -> accuracy, trained and tested on real data.
+    real_accuracy: Dict[str, float] = field(default_factory=dict)
+    #: model -> classifier -> accuracy (trained on synthetic, tested on
+    #: real test split) — the Fig 12 bars.
+    synthetic_accuracy: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: model -> Spearman rho of classifier ordering — the Table 3 rows.
+    rank_correlation: Dict[str, float] = field(default_factory=dict)
+
+    def table(self) -> str:
+        names = sorted(self.real_accuracy)
+        lines = ["model           " + "  ".join(f"{n:>6}" for n in names)
+                 + "    rho"]
+        lines.append("Real            " + "  ".join(
+            f"{self.real_accuracy[n]:6.3f}" for n in names) + "      -")
+        for model in sorted(self.synthetic_accuracy):
+            accs = self.synthetic_accuracy[model]
+            lines.append(f"{model:<16}" + "  ".join(
+                f"{accs[n]:6.3f}" for n in names)
+                + f"  {self.rank_correlation[model]:5.2f}")
+        return "\n".join(lines)
+
+
+def _prepare(trace: FlowTrace, scaler: Optional[StandardScaler] = None):
+    features = train_features_flow(trace)
+    if scaler is None:
+        scaler = StandardScaler().fit(features)
+    return scaler.transform(features), trace.attack_type, scaler
+
+
+def classifier_accuracy(
+    factory: Callable, train_trace: FlowTrace, test_trace: FlowTrace
+) -> float:
+    """Train one classifier on ``train_trace``, test on ``test_trace``."""
+    x_train, y_train, scaler = _prepare(train_trace)
+    x_test, y_test, _ = _prepare(test_trace, scaler)
+    if len(np.unique(y_train)) < 2:
+        # Degenerate synthetic data (one class): predict the constant.
+        return accuracy_score(y_test, np.full(len(y_test), y_train[0]))
+    model = factory()
+    model.fit(x_train, y_train)
+    return accuracy_score(y_test, model.predict(x_test))
+
+
+def run_prediction_task(
+    real: FlowTrace,
+    synthetic_by_model: Mapping[str, FlowTrace],
+    classifiers: Optional[Mapping[str, Callable]] = None,
+    train_fraction: float = 0.8,
+) -> PredictionResult:
+    """Run the full Fig 12 / Table 3 evaluation for one dataset."""
+    if not isinstance(real, FlowTrace):
+        raise TypeError("the prediction task runs on labelled NetFlow data")
+    classifiers = dict(classifiers or CLASSIFIER_FACTORIES)
+    result = PredictionResult()
+
+    real_train, real_test = train_test_split_by_time(real, train_fraction)
+    for name, factory in classifiers.items():
+        result.real_accuracy[name] = classifier_accuracy(
+            factory, real_train, real_test)
+
+    for model_name, synthetic in synthetic_by_model.items():
+        syn_train, syn_test = train_test_split_by_time(
+            synthetic, train_fraction)
+        accs: Dict[str, float] = {}
+        syn_self: Dict[str, float] = {}
+        for name, factory in classifiers.items():
+            # Fig 12: train on synthetic, test on REAL later split.
+            accs[name] = classifier_accuracy(factory, syn_train, real_test)
+            # Table 3: train on synthetic, test on synthetic later split.
+            syn_self[name] = classifier_accuracy(factory, syn_train, syn_test)
+        result.synthetic_accuracy[model_name] = accs
+        result.rank_correlation[model_name] = rank_correlation_of_scores(
+            result.real_accuracy, syn_self)
+    return result

@@ -1,0 +1,110 @@
+"""App #2: sketch-based telemetry (Fig 13).
+
+Heavy-hitter count estimation with four sketching algorithms (CMS, CS,
+UnivMon, NitroSketch) at a 0.1% threshold and matched memory.  The
+reported statistic is |error_syn - error_real| / error_real per
+sketch, averaged over independently-seeded runs; a baseline is
+*missing* for a dataset when its synthetic trace contains no heavy
+hitters at the threshold (exactly how baselines drop out of Fig 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..metrics.rank import rank_correlation_of_scores
+from ..sketches.heavyhitter import (
+    SKETCH_FACTORIES,
+    extract_keys,
+    heavy_hitter_estimation_error,
+    heavy_hitters,
+)
+
+__all__ = ["TelemetryResult", "run_telemetry_task"]
+
+#: Per-dataset heavy-hitter aggregation keys, as in Fig 13:
+#: destination IP for CAIDA, source IP for DC, five-tuple for CA.
+DATASET_HH_MODE = {"caida": "dst_ip", "dc": "src_ip", "ca": "five_tuple"}
+
+
+@dataclass
+class TelemetryResult:
+    #: sketch -> mean HH estimation error on the real trace.
+    real_error: Dict[str, float] = field(default_factory=dict)
+    #: model -> sketch -> relative error (None = baseline missing).
+    relative_error: Dict[str, Dict[str, Optional[float]]] = field(
+        default_factory=dict)
+    #: model -> Spearman rho of sketch ordering vs real (None if missing).
+    rank_correlation: Dict[str, Optional[float]] = field(default_factory=dict)
+
+    def table(self) -> str:
+        sketches = sorted(self.real_error)
+        lines = ["model           " + "  ".join(f"{s:>12}" for s in sketches)]
+        for model in sorted(self.relative_error):
+            cells = []
+            for s in sketches:
+                value = self.relative_error[model].get(s)
+                cells.append("     missing" if value is None
+                             else f"{value:12.3f}")
+            lines.append(f"{model:<16}" + "  ".join(cells))
+        return "\n".join(lines)
+
+
+def run_telemetry_task(
+    real,
+    synthetic_by_model: Mapping[str, object],
+    mode: str,
+    threshold: float = 0.001,
+    n_runs: int = 10,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> TelemetryResult:
+    """Run Fig 13 for one dataset and one aggregation mode."""
+    real_keys = extract_keys(real, mode)
+    hh_keys, _ = heavy_hitters(real_keys, threshold)
+    if len(hh_keys) == 0:
+        raise ValueError("real trace has no heavy hitters at this threshold")
+
+    result = TelemetryResult()
+    real_errors: Dict[str, list] = {name: [] for name in SKETCH_FACTORIES}
+    for name, factory in SKETCH_FACTORIES.items():
+        for run in range(n_runs):
+            real_errors[name].append(heavy_hitter_estimation_error(
+                factory(seed + run, scale), real_keys, threshold))
+        result.real_error[name] = float(np.mean(real_errors[name]))
+
+    for model_name, synthetic in synthetic_by_model.items():
+        syn_keys = extract_keys(synthetic, mode)
+        per_sketch: Dict[str, Optional[float]] = {}
+        syn_means: Dict[str, float] = {}
+        missing = False
+        try:
+            heavy_syn, _ = heavy_hitters(syn_keys, threshold)
+            missing = len(heavy_syn) == 0
+        except ValueError:
+            missing = True
+        for name, factory in SKETCH_FACTORIES.items():
+            if missing:
+                per_sketch[name] = None
+                continue
+            ratios = []
+            syn_errs = []
+            for run in range(n_runs):
+                err_real = real_errors[name][run]
+                err_syn = heavy_hitter_estimation_error(
+                    factory(seed + run, scale), syn_keys, threshold)
+                syn_errs.append(err_syn)
+                ratios.append(
+                    abs(err_syn - err_real) / max(err_real, 0.01))
+            per_sketch[name] = float(np.mean(ratios))
+            syn_means[name] = float(np.mean(syn_errs))
+        result.relative_error[model_name] = per_sketch
+        if missing:
+            result.rank_correlation[model_name] = None
+        else:
+            result.rank_correlation[model_name] = rank_correlation_of_scores(
+                result.real_error, syn_means)
+    return result

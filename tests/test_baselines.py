@@ -1,0 +1,244 @@
+"""Tests for the six baseline synthesizers and the row-GAN engine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CTGAN,
+    ColumnSpec,
+    EWganGp,
+    FlowWgan,
+    NETFLOW_BASELINES,
+    NetShareSynthesizer,
+    PCAP_BASELINES,
+    PacGan,
+    PacketCGan,
+    RowGan,
+    RowGanConfig,
+    Stan,
+    make_baseline,
+)
+from repro.datasets import FlowTrace, PacketTrace, load_dataset
+
+
+@pytest.fixture(scope="module")
+def netflow():
+    return load_dataset("ugr16", n_records=400, seed=0)
+
+
+@pytest.fixture(scope="module")
+def pcap():
+    return load_dataset("caida", n_records=400, seed=0)
+
+
+class TestRowGan:
+    def test_learns_a_simple_marginal(self):
+        """RowGan should recover a strongly bimodal unit column."""
+        rng = np.random.default_rng(0)
+        rows = np.where(rng.uniform(size=(400, 1)) < 0.7, 0.9, 0.1)
+        gan = RowGan([ColumnSpec("x", 1, "unit")],
+                     RowGanConfig(batch_size=64), seed=0)
+        gan.fit(rows, epochs=60)
+        out = gan.generate(400, seed=1)
+        # The dominant (70%) high mode must be learned — the failure
+        # mode this guards against is collapse to one corner.
+        assert (out[:, 0] > 0.5).mean() > 0.5
+        assert out.mean() > 0.3
+
+    def test_onehot_column_is_simplex(self):
+        rng = np.random.default_rng(0)
+        onehot = np.eye(3)[rng.integers(0, 3, 200)]
+        gan = RowGan([ColumnSpec("c", 3, "onehot")], seed=0)
+        gan.fit(onehot, epochs=3)
+        out = gan.generate(50, seed=1)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_wrong_width_raises(self):
+        gan = RowGan([ColumnSpec("x", 4, "unit")], seed=0)
+        with pytest.raises(ValueError):
+            gan.fit(np.zeros((10, 3)), epochs=1)
+
+    def test_conditional_requires_conditions(self):
+        gan = RowGan([ColumnSpec("x", 2, "unit")],
+                     RowGanConfig(condition_dim=3), seed=0)
+        with pytest.raises(ValueError):
+            gan.fit(np.zeros((10, 2)), epochs=1)
+
+    def test_split_columns(self):
+        gan = RowGan([ColumnSpec("a", 2, "unit"), ColumnSpec("b", 3, "unit")],
+                     seed=0)
+        rows = np.arange(10).reshape(2, 5).astype(float)
+        blocks = gan.split_columns(rows)
+        assert blocks["a"].shape == (2, 2)
+        assert blocks["b"].shape == (2, 3)
+
+    def test_empty_columns_raise(self):
+        with pytest.raises(ValueError):
+            RowGan([], seed=0)
+
+    def test_bad_column_kind_raises(self):
+        with pytest.raises(ValueError):
+            ColumnSpec("x", 1, "squish")
+
+
+class TestCTGAN:
+    def test_netflow_generation(self, netflow):
+        model = CTGAN(epochs=3, seed=0).fit(netflow)
+        syn = model.generate(150, seed=1)
+        assert isinstance(syn, FlowTrace)
+        assert len(syn) == 150
+        syn.validate()
+
+    def test_pcap_generation(self, pcap):
+        model = CTGAN(epochs=3, seed=0).fit(pcap)
+        syn = model.generate(150, seed=1)
+        assert isinstance(syn, PacketTrace)
+        syn.validate()
+
+    def test_rows_are_independent_no_flow_structure(self, pcap):
+        """The Fig 1b limitation: no multi-packet flows."""
+        model = CTGAN(epochs=3, seed=0).fit(pcap)
+        syn = model.generate(300, seed=1)
+        assert (syn.flow_sizes() > 1).mean() < 0.05
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            CTGAN().generate(10)
+
+    def test_deterministic_generation(self, netflow):
+        model = CTGAN(epochs=2, seed=0).fit(netflow)
+        a = model.generate(50, seed=7)
+        b = model.generate(50, seed=7)
+        np.testing.assert_array_equal(a.src_ip, b.src_ip)
+
+
+class TestEWganGp:
+    def test_netflow_only(self, pcap):
+        with pytest.raises(TypeError):
+            EWganGp(epochs=1).fit(pcap)
+
+    def test_generation(self, netflow):
+        model = EWganGp(epochs=2, seed=0).fit(netflow)
+        syn = model.generate(100, seed=1)
+        assert isinstance(syn, FlowTrace)
+        syn.validate()
+
+    def test_values_come_from_private_dictionary(self, netflow):
+        """E-WGAN-GP decodes by NN over its (private) dictionary, so
+        every generated port existed in training data."""
+        model = EWganGp(epochs=2, seed=0).fit(netflow)
+        syn = model.generate(100, seed=1)
+        assert set(syn.dst_port.tolist()) <= set(netflow.dst_port.tolist())
+        assert set(syn.src_ip.tolist()) <= set(netflow.src_ip.tolist())
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            EWganGp().generate(5)
+
+
+class TestStan:
+    def test_generation(self, netflow):
+        model = Stan(epochs=10, seed=0).fit(netflow)
+        syn = model.generate(150, seed=1)
+        assert isinstance(syn, FlowTrace)
+        assert len(syn) == 150
+        syn.validate()
+
+    def test_hosts_drawn_from_real_data(self, netflow):
+        """Per §6.1: host IPs are randomly drawn from the real data."""
+        model = Stan(epochs=5, seed=0).fit(netflow)
+        syn = model.generate(100, seed=1)
+        assert set(syn.src_ip.tolist()) <= set(netflow.src_ip.tolist())
+
+    def test_netflow_only(self, pcap):
+        with pytest.raises(TypeError):
+            Stan().fit(pcap)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Stan().generate(5)
+
+
+class TestPacketBaselines:
+    @pytest.mark.parametrize("cls", [PacGan, PacketCGan, FlowWgan])
+    def test_generation(self, pcap, cls):
+        model = cls(epochs=2, seed=0).fit(pcap)
+        syn = model.generate(120, seed=1)
+        assert isinstance(syn, PacketTrace)
+        assert len(syn) == 120
+        syn.validate()
+
+    @pytest.mark.parametrize("cls", [PacGan, PacketCGan, FlowWgan])
+    def test_no_multipacket_flows(self, pcap, cls):
+        """All per-packet baselines miss flow structure (Fig 1b)."""
+        model = cls(epochs=2, seed=0).fit(pcap)
+        syn = model.generate(250, seed=1)
+        assert (syn.flow_sizes() > 1).mean() < 0.05
+
+    def test_pacgan_timestamps_gaussian(self, pcap):
+        """PAC-GAN samples timestamps out of band from a Gaussian fit."""
+        model = PacGan(epochs=2, seed=0).fit(pcap)
+        syn = model.generate(400, seed=1)
+        assert abs(syn.timestamp.mean() - pcap.timestamp.mean()) < (
+            0.3 * pcap.timestamp.std()
+        )
+
+    def test_packetcgan_protocol_mix_preserved(self, pcap):
+        """The conditional protocol class follows the real mix."""
+        model = PacketCGan(epochs=2, seed=0).fit(pcap)
+        syn = model.generate(400, seed=1)
+        real_tcp = (pcap.protocol == 6).mean()
+        syn_tcp = (syn.protocol == 6).mean()
+        assert abs(real_tcp - syn_tcp) < 0.15
+
+    def test_flowwgan_random_ips(self, pcap):
+        """Flow-WGAN does not learn addresses: fresh IPs each time."""
+        model = FlowWgan(epochs=2, seed=0).fit(pcap)
+        syn = model.generate(200, seed=1)
+        overlap = set(syn.src_ip.tolist()) & set(pcap.src_ip.tolist())
+        assert len(overlap) < 5
+
+    def test_flowwgan_caps_packet_length(self, pcap):
+        model = FlowWgan(epochs=2, max_packet_length=512, seed=0).fit(pcap)
+        syn = model.generate(200, seed=1)
+        assert syn.packet_size.max() <= 512
+
+    def test_flowwgan_bad_cap_raises(self):
+        with pytest.raises(ValueError):
+            FlowWgan(max_packet_length=10)
+
+    @pytest.mark.parametrize("cls", [PacGan, PacketCGan, FlowWgan])
+    def test_pcap_only(self, netflow, cls):
+        with pytest.raises(TypeError):
+            cls(epochs=1).fit(netflow)
+
+
+class TestRegistry:
+    def test_factory_names(self):
+        for name in NETFLOW_BASELINES + PCAP_BASELINES:
+            model = make_baseline(name, epochs=1)
+            assert model.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_baseline("MagicGAN")
+
+    def test_netshare_adapter(self, netflow):
+        from repro import NetShareConfig
+
+        model = NetShareSynthesizer(NetShareConfig(
+            n_chunks=1, epochs_seed=2, seed=0))
+        model.fit(netflow)
+        syn = model.generate(100, seed=1)
+        assert isinstance(syn, FlowTrace)
+
+    def test_netshare_adapter_produces_multipacket_flows(self, pcap):
+        """The structural NetShare advantage (Fig 1b): five-tuples carry
+        multiple packets because flows are modelled as time series."""
+        from repro import NetShareConfig
+
+        model = NetShareSynthesizer(NetShareConfig(
+            n_chunks=1, epochs_seed=10, max_timesteps=16, seed=0))
+        model.fit(pcap)
+        syn = model.generate(300, seed=1)
+        assert (syn.flow_sizes() > 1).mean() > 0.2

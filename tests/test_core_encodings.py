@@ -1,0 +1,255 @@
+"""Tests for encoding primitives, IP2Vec, and flow preprocessing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encodings import (
+    BitEncoder,
+    ByteEncoder,
+    LogMinMaxEncoder,
+    MinMaxEncoder,
+    OneHotEncoder,
+)
+from repro.core.flow_encoder import FlowTensorEncoder
+from repro.core.ip2vec import IP2Vec, five_tuple_sentences, token
+from repro.core.preprocess import chunk_flows, split_into_flows, time_range
+from repro.datasets import FlowTrace, PacketTrace, load_dataset
+
+
+class TestBitEncoder:
+    def test_roundtrip_ips(self):
+        enc = BitEncoder(32)
+        values = np.array([0, 1, 0xC0A80001, 0xFFFFFFFF], dtype=np.uint64)
+        decoded = enc.decode(enc.encode(values))
+        np.testing.assert_array_equal(decoded, values)
+
+    def test_roundtrip_ports(self):
+        enc = BitEncoder(16)
+        values = np.array([0, 80, 65535], dtype=np.uint64)
+        np.testing.assert_array_equal(enc.decode(enc.encode(values)), values)
+
+    def test_width(self):
+        assert BitEncoder(32).encode(np.array([5])).shape == (1, 32)
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            BitEncoder(8).encode(np.array([256]))
+
+    def test_noisy_bits_decode(self):
+        """Decoding thresholds at 0.5 — a GAN's soft outputs decode."""
+        enc = BitEncoder(4)
+        soft = np.array([[0.9, 0.1, 0.8, 0.2]])
+        assert enc.decode(soft)[0] == 0b1010
+
+    def test_bad_width_raises(self):
+        with pytest.raises(ValueError):
+            BitEncoder(0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_roundtrip_property(self, value):
+        enc = BitEncoder(32)
+        assert enc.decode(enc.encode(np.array([value])))[0] == value
+
+
+class TestByteEncoder:
+    def test_roundtrip(self):
+        enc = ByteEncoder(4)
+        values = np.array([0, 255, 0x01020304], dtype=np.uint64)
+        np.testing.assert_array_equal(enc.decode(enc.encode(values)), values)
+
+    def test_values_in_unit_interval(self):
+        enc = ByteEncoder(2)
+        encoded = enc.encode(np.array([65535]))
+        assert encoded.min() >= 0 and encoded.max() <= 1
+
+
+class TestMinMaxEncoders:
+    def test_minmax_roundtrip(self):
+        enc = MinMaxEncoder().fit(np.array([10.0, 20.0, 30.0]))
+        values = np.array([12.0, 25.0])
+        np.testing.assert_allclose(enc.decode(enc.encode(values)), values)
+
+    def test_minmax_clips_out_of_range(self):
+        enc = MinMaxEncoder().fit(np.array([0.0, 10.0]))
+        assert enc.encode(np.array([99.0]))[0, 0] == 1.0
+
+    def test_minmax_constant_field(self):
+        enc = MinMaxEncoder().fit(np.array([5.0, 5.0]))
+        assert enc.encode(np.array([5.0]))[0, 0] == 0.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxEncoder().encode(np.array([1.0]))
+
+    def test_log_roundtrip_heavy_tail(self):
+        values = np.array([1.0, 100.0, 1e6])
+        enc = LogMinMaxEncoder().fit(values)
+        np.testing.assert_allclose(
+            enc.decode(enc.encode(values)), values, rtol=1e-9
+        )
+
+    def test_log_compresses_range(self):
+        """The Insight-2 rationale: log spreads small values apart."""
+        enc = LogMinMaxEncoder().fit(np.array([1.0, 1e6]))
+        small_gap = enc.encode(np.array([10.0]))[0, 0] - enc.encode(np.array([1.0]))[0, 0]
+        linear = MinMaxEncoder().fit(np.array([1.0, 1e6]))
+        linear_gap = (linear.encode(np.array([10.0]))[0, 0]
+                      - linear.encode(np.array([1.0]))[0, 0])
+        assert small_gap > 100 * linear_gap
+
+    def test_log_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LogMinMaxEncoder().fit(np.array([-1.0]))
+
+
+class TestOneHot:
+    def test_roundtrip(self):
+        enc = OneHotEncoder([1, 6, 17])
+        values = np.array([6, 17, 1])
+        np.testing.assert_array_equal(enc.decode(enc.encode(values)), values)
+
+    def test_unknown_value_raises(self):
+        with pytest.raises(ValueError):
+            OneHotEncoder([1, 2]).encode(np.array([3]))
+
+    def test_duplicate_categories_raise(self):
+        with pytest.raises(ValueError):
+            OneHotEncoder([1, 1])
+
+    def test_soft_decode_argmax(self):
+        enc = OneHotEncoder([10, 20])
+        assert enc.decode(np.array([[0.3, 0.7]]))[0] == 20
+
+
+class TestIP2Vec:
+    @pytest.fixture(scope="class")
+    def model(self):
+        trace = load_dataset("caida_chicago_2015", n_records=1500, seed=0)
+        return IP2Vec(dim=8, epochs=2, seed=0).fit(five_tuple_sentences(trace))
+
+    def test_vocabulary_contains_service_ports(self, model):
+        assert token("dp", 80) in model
+        assert token("dp", 53) in model
+        assert token("pr", 6) in model
+
+    def test_vector_shape(self, model):
+        assert model.vector(token("pr", 6)).shape == (8,)
+
+    def test_roundtrip_known_words(self, model):
+        words = [token("dp", 80), token("dp", 53)]
+        vectors = model.encode_many(words)
+        decoded = model.decode_many(vectors, "dp")
+        assert decoded == words
+
+    def test_decode_values(self, model):
+        vectors = model.encode_many([token("pr", 6), token("pr", 17)])
+        values = model.decode_values(vectors, "pr")
+        np.testing.assert_array_equal(values, [6, 17])
+
+    def test_port_protocol_cooccurrence(self, model):
+        """DNS (53, UDP-only) should embed closer to UDP than to TCP."""
+        dns = model.vector(token("dp", 53))
+        udp = model.vector(token("pr", 17))
+        tcp = model.vector(token("pr", 6))
+        assert np.linalg.norm(dns - udp) < np.linalg.norm(dns - tcp)
+
+    def test_unknown_word_raises(self, model):
+        with pytest.raises(KeyError):
+            model.vector("dp:99999")
+
+    def test_unknown_word_falls_back_to_kind_mean(self, model):
+        vec = model.encode_many(["dp:64999"])
+        assert np.all(np.isfinite(vec))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            IP2Vec().vector("dp:80")
+
+    def test_empty_sentences_raise(self):
+        with pytest.raises(ValueError):
+            IP2Vec().fit([])
+
+    def test_vocabulary_of_kind(self, model):
+        ports = model.vocabulary_of_kind("dp")
+        assert 80 in ports and 53 in ports
+
+
+class TestFlowSplit:
+    @pytest.fixture(scope="class")
+    def flows_trace(self):
+        return load_dataset("ugr16", n_records=400, seed=2)
+
+    def test_split_covers_all_records(self, flows_trace):
+        flows = split_into_flows(flows_trace)
+        assert sum(len(f) for f in flows) == len(flows_trace)
+
+    def test_flows_sorted_by_start(self, flows_trace):
+        flows = split_into_flows(flows_trace)
+        starts = [f.start_time for f in flows]
+        assert starts == sorted(starts)
+
+    def test_records_within_flow_sorted(self, flows_trace):
+        for f in split_into_flows(flows_trace):
+            assert np.all(np.diff(f.records[:, 0]) >= 0)
+
+    def test_multi_record_flows_exist(self, flows_trace):
+        flows = split_into_flows(flows_trace)
+        assert any(len(f) > 1 for f in flows)
+
+    def test_time_range(self, flows_trace):
+        lo, hi = time_range(flows_trace)
+        assert lo <= hi
+
+
+class TestChunking:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return load_dataset("ugr16", n_records=2000, seed=3)
+
+    def test_chunk_count(self, trace):
+        chunks = chunk_flows(trace, 4)
+        assert len(chunks) == 4
+
+    def test_all_records_assigned(self, trace):
+        chunks = chunk_flows(trace, 4)
+        total = sum(len(f) for chunk in chunks for f in chunk)
+        assert total == len(trace)
+
+    def test_presence_vectors_consistent(self, trace):
+        chunks = chunk_flows(trace, 5)
+        for c, chunk in enumerate(chunks):
+            for f in chunk:
+                assert f.presence is not None
+                assert f.presence[c] == 1.0
+
+    def test_starts_here_unique_per_flow(self, trace):
+        chunks = chunk_flows(trace, 5)
+        starts = {}
+        for chunk in chunks:
+            for f in chunk:
+                starts.setdefault(f.key, 0)
+                if f.starts_here:
+                    starts[f.key] += 1
+        assert all(v == 1 for v in starts.values())
+
+    def test_cross_chunk_flows_exist(self, trace):
+        """Long-lived flows must span chunks (the Insight-3 concern)."""
+        chunks = chunk_flows(trace, 5)
+        spans = [f.presence.sum() for chunk in chunks for f in chunk]
+        assert max(spans) > 1
+
+    def test_single_chunk(self, trace):
+        (chunk,) = chunk_flows(trace, 1)
+        assert sum(len(f) for f in chunk) == len(trace)
+
+    def test_zero_chunks_raises(self, trace):
+        with pytest.raises(ValueError):
+            chunk_flows(trace, 0)
+
+    def test_pcap_supported(self):
+        trace = load_dataset("caida", n_records=400, seed=0)
+        chunks = chunk_flows(trace, 3)
+        assert sum(len(f) for chunk in chunks for f in chunk) == len(trace)

@@ -1,0 +1,140 @@
+"""Tests for trace serialisation and epoch/train-test splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    FlowTrace,
+    load_dataset,
+    merge_epochs,
+    read_flow_csv,
+    read_packet_binary,
+    read_packet_csv,
+    split_epochs,
+    train_test_split_by_time,
+    write_flow_csv,
+    write_packet_binary,
+    write_packet_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def flows():
+    return load_dataset("ugr16", n_records=200, seed=5)
+
+
+@pytest.fixture(scope="module")
+def packets():
+    return load_dataset("caida", n_records=300, seed=5)
+
+
+class TestCsvRoundTrip:
+    def test_flow_roundtrip(self, flows, tmp_path):
+        path = tmp_path / "flows.csv"
+        write_flow_csv(flows, path)
+        back = read_flow_csv(path)
+        np.testing.assert_array_equal(back.src_ip, flows.src_ip)
+        np.testing.assert_array_equal(back.packets, flows.packets)
+        np.testing.assert_allclose(back.start_time, flows.start_time, atol=1e-3)
+
+    def test_packet_roundtrip(self, packets, tmp_path):
+        path = tmp_path / "packets.csv"
+        write_packet_csv(packets, path)
+        back = read_packet_csv(path)
+        np.testing.assert_array_equal(back.dst_ip, packets.dst_ip)
+        np.testing.assert_array_equal(back.packet_size, packets.packet_size)
+        np.testing.assert_allclose(back.timestamp, packets.timestamp, atol=1e-5)
+
+    def test_flow_header_check(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope\n1,2\n")
+        with pytest.raises(ValueError):
+            read_flow_csv(path)
+
+    def test_packet_header_check(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope\n")
+        with pytest.raises(ValueError):
+            read_packet_csv(path)
+
+    def test_malformed_row_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        header = ("src_ip,dst_ip,src_port,dst_port,protocol,"
+                  "start_time_ms,duration_ms,packets,bytes,label,attack_type")
+        path.write_text(header + "\n1,2,3\n")
+        with pytest.raises(ValueError):
+            read_flow_csv(path)
+
+
+class TestBinaryRoundTrip:
+    def test_roundtrip(self, packets, tmp_path):
+        path = tmp_path / "trace.rpcp"
+        write_packet_binary(packets, path)
+        back = read_packet_binary(path)
+        np.testing.assert_array_equal(back.src_ip, packets.src_ip)
+        np.testing.assert_array_equal(back.protocol, packets.protocol)
+        np.testing.assert_allclose(back.timestamp, packets.timestamp)
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "bad.rpcp"
+        path.write_bytes(b"XXXX" + b"\0" * 16)
+        with pytest.raises(ValueError):
+            read_packet_binary(path)
+
+    def test_truncated_raises(self, packets, tmp_path):
+        path = tmp_path / "trace.rpcp"
+        write_packet_binary(packets, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError):
+            read_packet_binary(path)
+
+
+class TestEpochSplits:
+    def test_split_covers_all_records(self, flows):
+        epochs = split_epochs(flows, 5)
+        assert sum(len(e) for e in epochs) == len(flows)
+
+    def test_epochs_are_time_ordered(self, flows):
+        epochs = split_epochs(flows, 4)
+        maxes = [e.start_time.max() for e in epochs if len(e)]
+        mins = [e.start_time.min() for e in epochs if len(e)]
+        for later_min, earlier_max in zip(mins[1:], maxes[:-1]):
+            assert later_min >= earlier_max
+
+    def test_merge_restores_records(self, flows):
+        epochs = split_epochs(flows, 3)
+        merged = merge_epochs(epochs)
+        assert len(merged) == len(flows)
+        assert np.all(np.diff(merged.start_time) >= 0)
+
+    def test_single_epoch(self, flows):
+        (only,) = split_epochs(flows, 1)
+        assert len(only) == len(flows)
+
+    def test_zero_epochs_raises(self, flows):
+        with pytest.raises(ValueError):
+            split_epochs(flows, 0)
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_epochs([])
+
+    def test_packet_traces_supported(self, packets):
+        epochs = split_epochs(packets, 3)
+        assert sum(len(e) for e in epochs) == len(packets)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, flows):
+        train, test = train_test_split_by_time(flows, 0.8)
+        assert len(train) == int(len(flows) * 0.8)
+        assert len(train) + len(test) == len(flows)
+
+    def test_temporal_ordering(self, flows):
+        train, test = train_test_split_by_time(flows, 0.8)
+        assert train.start_time.max() <= test.start_time.min()
+
+    def test_bad_fraction_raises(self, flows):
+        with pytest.raises(ValueError):
+            train_test_split_by_time(flows, 1.5)

@@ -1,0 +1,144 @@
+"""Tests for trace containers and IP utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    FlowTrace,
+    PacketTrace,
+    int_to_ip,
+    ip_to_int,
+    ips_to_ints,
+)
+
+
+def tiny_flow_trace():
+    return FlowTrace(
+        src_ip=ips_to_ints(["10.0.0.1", "10.0.0.2", "10.0.0.1"]),
+        dst_ip=ips_to_ints(["172.16.0.1", "172.16.0.2", "172.16.0.1"]),
+        src_port=[1234, 5678, 1234],
+        dst_port=[80, 443, 80],
+        protocol=[6, 6, 6],
+        start_time=[30.0, 10.0, 20.0],
+        duration=[5.0, 6.0, 7.0],
+        packets=[10, 20, 30],
+        bytes=[1000, 2000, 3000],
+    )
+
+
+def tiny_packet_trace():
+    return PacketTrace(
+        timestamp=[3.0, 1.0, 2.0, 4.0],
+        src_ip=ips_to_ints(["10.0.0.1"] * 3 + ["10.0.0.9"]),
+        dst_ip=ips_to_ints(["172.16.0.1"] * 3 + ["172.16.0.9"]),
+        src_port=[1234] * 3 + [99],
+        dst_port=[80] * 3 + [53],
+        protocol=[6, 6, 6, 17],
+        packet_size=[40, 1500, 100, 28],
+    )
+
+
+class TestIpConversion:
+    def test_known_values(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+        assert ip_to_int("10.0.0.1") == (10 << 24) + 1
+        assert int_to_ip(0x0A000001) == "10.0.0.1"
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0")
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0.256")
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 33)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_roundtrip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestFlowTrace:
+    def test_length_and_columns(self):
+        trace = tiny_flow_trace()
+        assert len(trace) == 3
+        assert trace.label.tolist() == [0, 0, 0]
+        trace.validate()
+
+    def test_sort_by_time(self):
+        trace = tiny_flow_trace().sort_by_time()
+        assert trace.start_time.tolist() == [10.0, 20.0, 30.0]
+
+    def test_subset_mask(self):
+        trace = tiny_flow_trace()
+        sub = trace.subset(trace.packets > 15)
+        assert len(sub) == 2
+
+    def test_end_time(self):
+        trace = tiny_flow_trace()
+        np.testing.assert_allclose(trace.end_time, trace.start_time + trace.duration)
+
+    def test_concatenate(self):
+        trace = tiny_flow_trace()
+        doubled = FlowTrace.concatenate([trace, trace])
+        assert len(doubled) == 6
+
+    def test_concatenate_empty_raises(self):
+        with pytest.raises(ValueError):
+            FlowTrace.concatenate([])
+
+    def test_group_by_five_tuple(self):
+        trace = tiny_flow_trace()
+        groups = trace.group_by_five_tuple()
+        assert len(groups) == 2
+        sizes = sorted(len(v) for v in groups.values())
+        assert sizes == [1, 2]
+
+    def test_validate_rejects_negative_packets(self):
+        trace = tiny_flow_trace()
+        trace.packets[0] = -1
+        with pytest.raises(ValueError):
+            trace.validate()
+
+    def test_validate_rejects_bad_port(self):
+        trace = tiny_flow_trace()
+        trace.dst_port[0] = 70000
+        with pytest.raises(ValueError):
+            trace.validate()
+
+    def test_validate_rejects_ragged_columns(self):
+        trace = tiny_flow_trace()
+        trace.packets = trace.packets[:2]
+        with pytest.raises(ValueError):
+            trace.validate()
+
+
+class TestPacketTrace:
+    def test_defaults_filled(self):
+        trace = tiny_packet_trace()
+        assert len(trace.ttl) == 4
+        assert np.all(trace.checksum == 0)
+        trace.validate()
+
+    def test_sort_by_time(self):
+        trace = tiny_packet_trace().sort_by_time()
+        assert list(trace.timestamp) == sorted(trace.timestamp)
+
+    def test_flow_sizes(self):
+        trace = tiny_packet_trace()
+        sizes = sorted(trace.flow_sizes().tolist())
+        assert sizes == [1, 3]
+
+    def test_group_indices_sorted(self):
+        trace = tiny_packet_trace()
+        for idx in trace.group_by_five_tuple().values():
+            assert list(idx) == sorted(idx)
+
+    def test_validate_rejects_negative_size(self):
+        trace = tiny_packet_trace()
+        trace.packet_size[0] = -5
+        with pytest.raises(ValueError):
+            trace.validate()

@@ -1,0 +1,209 @@
+"""Tests for the synthetic workload engine and dataset profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    ATTACK_TYPES,
+    DATASET_PROFILES,
+    NETFLOW_DATASETS,
+    PCAP_DATASETS,
+    PORT_PROTOCOL_MAP,
+    PROTO_ICMP,
+    FlowTrace,
+    PacketTrace,
+    WorkloadProfile,
+    get_profile,
+    load_dataset,
+    zipf_weights,
+)
+
+
+class TestZipf:
+    def test_weights_sum_to_one(self):
+        np.testing.assert_allclose(zipf_weights(100, 1.1).sum(), 1.0)
+
+    def test_weights_monotone_decreasing(self):
+        w = zipf_weights(50, 1.0)
+        assert np.all(np.diff(w) <= 0)
+
+    def test_zero_pool_raises(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 200), st.floats(0.1, 3.0))
+    def test_weights_valid_distribution(self, n, s):
+        w = zipf_weights(n, s)
+        assert np.all(w > 0)
+        np.testing.assert_allclose(w.sum(), 1.0)
+
+
+class TestProfiles:
+    def test_all_six_datasets_present(self):
+        for name in NETFLOW_DATASETS + PCAP_DATASETS:
+            assert name in DATASET_PROFILES
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("not-a-dataset")
+
+    def test_kind_consistency(self):
+        for name in NETFLOW_DATASETS:
+            assert get_profile(name).kind == "netflow"
+        for name in PCAP_DATASETS:
+            assert get_profile(name).kind == "pcap"
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", kind="mystery")
+
+    def test_bad_attack_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", kind="netflow", attack_mix={"alien": 0.5})
+
+    def test_excessive_attack_share_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", kind="netflow", attack_mix={"dos": 0.95})
+
+
+class TestFlowGeneration:
+    @pytest.fixture(scope="class")
+    def ugr16(self):
+        return load_dataset("ugr16", n_records=1500, seed=1)
+
+    def test_type_and_size(self, ugr16):
+        assert isinstance(ugr16, FlowTrace)
+        assert 0.5 * 1500 <= len(ugr16) <= 1500
+
+    def test_valid(self, ugr16):
+        ugr16.validate()
+
+    def test_sorted_by_time(self, ugr16):
+        assert np.all(np.diff(ugr16.start_time) >= 0)
+
+    def test_reproducible(self):
+        a = load_dataset("ugr16", n_records=300, seed=42)
+        b = load_dataset("ugr16", n_records=300, seed=42)
+        np.testing.assert_array_equal(a.src_ip, b.src_ip)
+        np.testing.assert_array_equal(a.bytes, b.bytes)
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("ugr16", n_records=300, seed=1)
+        b = load_dataset("ugr16", n_records=300, seed=2)
+        assert not np.array_equal(a.src_ip, b.src_ip)
+
+    def test_multi_record_five_tuples_exist(self, ugr16):
+        """Fig 1a phenomenon: some five-tuples emit multiple records."""
+        groups = ugr16.group_by_five_tuple()
+        counts = np.array([len(v) for v in groups.values()])
+        assert counts.max() > 1
+
+    def test_heavy_tailed_flow_sizes(self, ugr16):
+        """Fig 2 phenomenon: packets per flow span >= 3 orders of magnitude."""
+        assert ugr16.packets.min() >= 1
+        assert ugr16.packets.max() / max(ugr16.packets.min(), 1) > 100
+
+    def test_service_ports_dominant(self, ugr16):
+        """Fig 3 phenomenon: service ports take a large share of traffic."""
+        benign = ugr16.subset(ugr16.label == 0)
+        service = np.isin(benign.dst_port, list(PORT_PROTOCOL_MAP))
+        assert service.mean() > 0.4
+
+    def test_port_protocol_compliance(self, ugr16):
+        """Appendix B Test 3 holds on (benign) generated ground truth."""
+        benign = ugr16.subset(ugr16.label == 0)
+        for port, proto in PORT_PROTOCOL_MAP.items():
+            mask = benign.dst_port == port
+            if mask.any():
+                assert np.all(benign.protocol[mask] == proto)
+
+    def test_bytes_packets_relationship(self, ugr16):
+        """Appendix B Test 2: 28*pkt <= byt <= 65535*pkt for TCP/UDP."""
+        l4 = ugr16.subset(np.isin(ugr16.protocol, [6, 17]))
+        assert np.all(l4.bytes >= 28 * l4.packets)
+        assert np.all(l4.bytes <= 65535 * l4.packets)
+
+    def test_icmp_has_no_ports(self, ugr16):
+        icmp = ugr16.subset(ugr16.protocol == PROTO_ICMP)
+        if len(icmp):
+            assert np.all(icmp.src_port == 0)
+            assert np.all(icmp.dst_port == 0)
+
+    def test_labels_and_attacks(self):
+        trace = load_dataset("ton", n_records=2000, seed=0)
+        assert 0.15 <= trace.label.mean() <= 0.55
+        attack_codes = set(trace.attack_type[trace.label == 1])
+        assert len(attack_codes) >= 5  # TON has nine attack types
+        assert all(code in ATTACK_TYPES for code in attack_codes)
+
+    def test_benign_records_unlabelled(self):
+        trace = load_dataset("cidds", n_records=800, seed=0)
+        benign = trace.subset(trace.label == 0)
+        assert np.all(benign.attack_type == 0)
+
+    def test_portscan_signature(self):
+        """Port scans: one scanner hits many distinct ports, tiny flows."""
+        trace = load_dataset("cidds", n_records=3000, seed=3)
+        scan = trace.subset(trace.attack_type == 2)
+        assert len(scan) > 10
+        assert len(np.unique(scan.dst_port)) > len(scan) * 0.9
+        assert scan.packets.max() <= 2
+
+
+class TestPacketGeneration:
+    @pytest.fixture(scope="class")
+    def caida(self):
+        return load_dataset("caida", n_records=2000, seed=1)
+
+    def test_type_and_size(self, caida):
+        assert isinstance(caida, PacketTrace)
+        assert 0.4 * 2000 <= len(caida) <= 2000
+
+    def test_valid_and_sorted(self, caida):
+        caida.validate()
+        assert np.all(np.diff(caida.timestamp) >= 0)
+
+    def test_multi_packet_flows(self, caida):
+        """Fig 1b phenomenon: flows with > 1 packet must exist."""
+        sizes = caida.flow_sizes()
+        assert (sizes > 1).mean() > 0.3
+
+    def test_min_packet_sizes(self, caida):
+        """Appendix B Test 4: TCP >= 40 bytes, UDP >= 28 bytes."""
+        tcp = caida.subset(caida.protocol == 6)
+        udp = caida.subset(caida.protocol == 17)
+        assert np.all(tcp.packet_size >= 40)
+        assert np.all(udp.packet_size >= 28)
+
+    def test_packet_sizes_bounded(self, caida):
+        assert caida.packet_size.max() <= 1500
+
+    def test_reproducible(self):
+        a = load_dataset("dc", n_records=500, seed=9)
+        b = load_dataset("dc", n_records=500, seed=9)
+        np.testing.assert_array_equal(a.timestamp, b.timestamp)
+        np.testing.assert_array_equal(a.packet_size, b.packet_size)
+
+    def test_dc_has_bigger_flows_than_ca(self):
+        """DC profile is elephant-heavy; CA is scan-heavy."""
+        dc = load_dataset("dc", n_records=3000, seed=0)
+        ca = load_dataset("ca", n_records=3000, seed=0)
+        # Compare typical (log-mean) flow sizes: robust to a single elephant.
+        assert np.log(dc.flow_sizes()).mean() > np.log(ca.flow_sizes()).mean()
+
+
+class TestPublicProfiles:
+    def test_public_port_coverage(self):
+        """The public IP2Vec training trace must cover (almost) all
+        service ports so the embedding dictionary is expressive."""
+        trace = load_dataset("caida_chicago_2015", n_records=5000, seed=0)
+        covered = set(np.unique(trace.dst_port)) & set(PORT_PROTOCOL_MAP)
+        assert len(covered) >= len(PORT_PROTOCOL_MAP) * 0.8
+
+    def test_public_and_private_address_spaces_differ(self):
+        public = load_dataset("caida_chicago_2015", n_records=500, seed=0)
+        private = load_dataset("caida", n_records=500, seed=0)
+        assert not set(np.unique(public.src_ip)) & set(np.unique(private.src_ip))

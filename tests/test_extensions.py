@@ -1,0 +1,233 @@
+"""Tests for the extension modules: anonymization, Elastic Sketch,
+HyperLogLog, and temporal metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    PrefixPreservingAnonymizer,
+    anonymize_trace,
+    load_dataset,
+    truncate_ips,
+)
+from repro.metrics import (
+    autocorrelation,
+    flow_interarrival_times,
+    interarrival_times,
+    temporal_report,
+    volume_series,
+)
+from repro.sketches import ElasticSketch, HyperLogLog, distinct_count
+
+
+class TestPrefixPreservingAnonymization:
+    @pytest.fixture(scope="class")
+    def anon(self):
+        return PrefixPreservingAnonymizer(key=b"test-key")
+
+    def test_deterministic(self, anon):
+        assert anon.anonymize_int(0x0A000001) == anon.anonymize_int(0x0A000001)
+
+    def test_bijective_on_sample(self, anon):
+        rng = np.random.default_rng(0)
+        addresses = rng.integers(0, 2**32, size=500, dtype=np.uint64)
+        outputs = {anon.anonymize_int(int(a)) for a in addresses}
+        assert len(outputs) == len(set(addresses.tolist()))
+
+    def test_prefix_preservation(self, anon):
+        """Addresses sharing a k-bit prefix map to addresses sharing a
+        k-bit prefix — the defining Crypto-PAn property."""
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            a = int(rng.integers(0, 2**32))
+            b = int(rng.integers(0, 2**32))
+            shared = 32
+            for bit in range(31, -1, -1):
+                if ((a >> bit) & 1) != ((b >> bit) & 1):
+                    shared = 31 - bit
+                    break
+            ea, eb = anon.anonymize_int(a), anon.anonymize_int(b)
+            if shared > 0:
+                assert (ea >> (32 - shared)) == (eb >> (32 - shared))
+            if shared < 32:
+                # The first differing bit stays different (bijectivity
+                # at the prefix-tree node).
+                assert ((ea >> (31 - shared)) & 1) != ((eb >> (31 - shared)) & 1)
+
+    def test_different_keys_differ(self):
+        a = PrefixPreservingAnonymizer(key=b"k1").anonymize_int(0x0A000001)
+        b = PrefixPreservingAnonymizer(key=b"k2").anonymize_int(0x0A000001)
+        assert a != b
+
+    def test_empty_key_raises(self):
+        with pytest.raises(ValueError):
+            PrefixPreservingAnonymizer(key=b"")
+
+    def test_out_of_range_raises(self, anon):
+        with pytest.raises(ValueError):
+            anon.anonymize_int(1 << 33)
+
+    def test_trace_anonymization_preserves_structure(self):
+        trace = load_dataset("ugr16", n_records=300, seed=0)
+        out = anonymize_trace(trace, method="prefix")
+        # Popularity structure preserved (bijection).
+        _, real_counts = np.unique(trace.src_ip, return_counts=True)
+        _, anon_counts = np.unique(out.src_ip, return_counts=True)
+        np.testing.assert_array_equal(np.sort(real_counts),
+                                      np.sort(anon_counts))
+        # Identities hidden.
+        assert not set(out.src_ip.tolist()) & set(trace.src_ip.tolist())
+        # Everything else untouched.
+        np.testing.assert_array_equal(out.packets, trace.packets)
+
+
+class TestTruncation:
+    def test_keep_24_bits(self):
+        out = truncate_ips(np.array([0x0A0B0C0D], dtype=np.uint32), 24)
+        assert out[0] == 0x0A0B0C00
+
+    def test_keep_zero_bits(self):
+        out = truncate_ips(np.array([0xFFFFFFFF], dtype=np.uint32), 0)
+        assert out[0] == 0
+
+    def test_truncation_loses_fidelity(self):
+        """Table 1's tradeoff: more redaction, fewer distinct hosts."""
+        trace = load_dataset("ugr16", n_records=300, seed=0)
+        t16 = anonymize_trace(trace, method="truncate", keep_bits=16)
+        t24 = anonymize_trace(trace, method="truncate", keep_bits=24)
+        n_real = len(np.unique(trace.src_ip))
+        n24 = len(np.unique(t24.src_ip))
+        n16 = len(np.unique(t16.src_ip))
+        assert n16 <= n24 <= n_real
+
+    def test_bad_bits_raises(self):
+        with pytest.raises(ValueError):
+            truncate_ips(np.array([1], dtype=np.uint32), 40)
+
+    def test_unknown_method_raises(self):
+        trace = load_dataset("ugr16", n_records=50, seed=0)
+        with pytest.raises(ValueError):
+            anonymize_trace(trace, method="rot13")
+
+
+class TestElasticSketch:
+    def test_heavy_flow_exact_in_heavy_part(self):
+        sketch = ElasticSketch(heavy_buckets=64, seed=0)
+        stream = np.array([7] * 500 + list(range(100, 200)), dtype=np.uint64)
+        rng = np.random.default_rng(0)
+        sketch.update_many(rng.permutation(stream))
+        # The elephant's estimate is close to its true count.
+        assert abs(sketch.estimate(7) - 500) <= 25
+
+    def test_heavy_flows_listed(self):
+        sketch = ElasticSketch(heavy_buckets=32, seed=0)
+        sketch.update_many(np.array([3] * 100, dtype=np.uint64))
+        assert 3 in sketch.heavy_flows()
+
+    def test_eviction_promotes_bigger_flow(self):
+        sketch = ElasticSketch(heavy_buckets=1, eviction_threshold=2.0, seed=0)
+        sketch.update(1, 10.0)       # resident
+        sketch.update(2, 30.0)       # stranger outvotes 3x -> evict
+        assert 2 in sketch.heavy_flows()
+        # The evicted flow's count moved to the light part.
+        assert sketch.estimate(1) >= 5.0
+
+    def test_mice_estimates_from_light_part(self):
+        sketch = ElasticSketch(heavy_buckets=16, light_width=512, seed=0)
+        stream = np.repeat(np.arange(200, dtype=np.uint64), 3)
+        sketch.update_many(stream)
+        estimates = sketch.estimate_many(np.arange(200, dtype=np.uint64))
+        assert np.median(estimates) >= 2.0
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ValueError):
+            ElasticSketch(heavy_buckets=0)
+        with pytest.raises(ValueError):
+            ElasticSketch(eviction_threshold=0.0)
+
+
+class TestHyperLogLog:
+    def test_estimates_within_error_bound(self):
+        rng = np.random.default_rng(0)
+        for true_n in (100, 5000):
+            keys = rng.integers(0, 2**60, size=true_n, dtype=np.uint64)
+            keys = np.unique(keys)
+            estimate = distinct_count(keys, precision=12)
+            assert abs(estimate - len(keys)) / len(keys) < 0.1
+
+    def test_duplicates_do_not_inflate(self):
+        keys = np.array([42] * 10000, dtype=np.uint64)
+        assert distinct_count(keys, precision=10) < 5
+
+    def test_incremental_equals_batch(self):
+        keys = np.arange(500, dtype=np.uint64)
+        a = HyperLogLog(precision=10, seed=0)
+        a.add_many(keys)
+        b = HyperLogLog(precision=10, seed=0)
+        for k in keys:
+            b.add(int(k))
+        assert a.estimate() == pytest.approx(b.estimate())
+
+    def test_bad_precision_raises(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=2)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(50, 2000))
+    def test_relative_error_property(self, n):
+        keys = np.arange(n, dtype=np.uint64) * 7919
+        estimate = distinct_count(keys, precision=12)
+        assert abs(estimate - n) / n < 0.15
+
+
+class TestTemporalMetrics:
+    @pytest.fixture(scope="class")
+    def pcap(self):
+        return load_dataset("caida", n_records=800, seed=0)
+
+    def test_interarrivals_nonnegative(self, pcap):
+        gaps = interarrival_times(pcap)
+        assert np.all(gaps >= 0)
+        assert len(gaps) == len(pcap) - 1
+
+    def test_flow_interarrivals(self, pcap):
+        gaps = flow_interarrival_times(pcap)
+        assert len(gaps) > 0
+        assert np.all(gaps >= 0)
+
+    def test_flow_interarrivals_need_pcap(self):
+        flows = load_dataset("ugr16", n_records=100, seed=0)
+        with pytest.raises(TypeError):
+            flow_interarrival_times(flows)
+
+    def test_volume_series_conserves_records(self, pcap):
+        series = volume_series(pcap, 20)
+        assert series.sum() == len(pcap)
+
+    def test_autocorrelation_of_constant_is_zero(self):
+        assert autocorrelation(np.ones(10)) == 0.0
+
+    def test_autocorrelation_of_trend_positive(self):
+        assert autocorrelation(np.arange(50, dtype=float)) > 0.9
+
+    def test_autocorrelation_bad_lag(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.arange(5, dtype=float), lag=5)
+
+    def test_report_self_comparison(self, pcap):
+        report = temporal_report(pcap, pcap)
+        assert report.interarrival_emd == pytest.approx(0.0, abs=1e-9)
+        assert report.volume_emd == pytest.approx(0.0, abs=1e-9)
+        assert "inter-arrival" in report.summary()
+
+    def test_report_type_mismatch(self, pcap):
+        flows = load_dataset("ugr16", n_records=100, seed=0)
+        with pytest.raises(TypeError):
+            temporal_report(pcap, flows)
+
+    def test_report_between_different_traces(self, pcap):
+        other = load_dataset("dc", n_records=800, seed=1)
+        report = temporal_report(pcap, other)
+        assert report.interarrival_emd > 0

@@ -1,0 +1,257 @@
+"""Tests for the FlowTensorEncoder (trace <-> GAN tensors)."""
+
+import numpy as np
+import pytest
+
+from repro.core.flow_encoder import EncodedFlows, FlowTensorEncoder
+from repro.core.ip2vec import IP2Vec, five_tuple_sentences
+from repro.core.preprocess import chunk_flows, split_into_flows, time_range
+from repro.datasets import FlowTrace, PacketTrace, load_dataset
+
+
+@pytest.fixture(scope="module")
+def public_ip2vec():
+    trace = load_dataset("caida_chicago_2015", n_records=1200, seed=0)
+    return IP2Vec(dim=8, epochs=2, seed=0).fit(five_tuple_sentences(trace))
+
+
+@pytest.fixture(scope="module")
+def netflow_trace():
+    return load_dataset("ugr16", n_records=400, seed=1)
+
+
+@pytest.fixture(scope="module")
+def pcap_trace():
+    return load_dataset("caida", n_records=500, seed=1)
+
+
+def encode_decode(trace, encoder):
+    flows = split_into_flows(trace)
+    window = time_range(trace)
+    encoded = encoder.encode_chunk(flows, window)
+    return encoded, encoder.decode(encoded, window)
+
+
+class TestNetflowRoundTrip:
+    @pytest.fixture(scope="class")
+    def bit_encoder(self, netflow_trace):
+        encoder = FlowTensorEncoder("netflow", max_timesteps=8,
+                                    port_encoding="bit")
+        return encoder.fit(netflow_trace)
+
+    def test_tensor_shapes(self, netflow_trace, bit_encoder):
+        encoded, _ = encode_decode(netflow_trace, bit_encoder)
+        n = len(encoded)
+        assert encoded.metadata.shape == (n, bit_encoder.metadata_width)
+        assert encoded.measurements.shape == (n, 8, bit_encoder.measurement_width)
+        assert encoded.gen_flags.shape == (n, 8)
+
+    def test_tensors_in_unit_range(self, netflow_trace, bit_encoder):
+        encoded, _ = encode_decode(netflow_trace, bit_encoder)
+        assert encoded.metadata.min() >= 0 and encoded.metadata.max() <= 1
+        assert encoded.measurements.min() >= 0 and encoded.measurements.max() <= 1
+
+    def test_five_tuples_roundtrip_exactly(self, netflow_trace, bit_encoder):
+        _, decoded = encode_decode(netflow_trace, bit_encoder)
+        original = {tuple(k) for k in netflow_trace.five_tuple_keys()}
+        recovered = {tuple(k) for k in decoded.five_tuple_keys()}
+        assert original == recovered
+
+    def test_record_count_preserved_up_to_truncation(
+        self, netflow_trace, bit_encoder
+    ):
+        _, decoded = encode_decode(netflow_trace, bit_encoder)
+        # Truncation at T=8 can only shrink counts.
+        assert len(decoded) <= len(netflow_trace)
+        assert len(decoded) >= 0.7 * len(netflow_trace)
+
+    def test_continuous_fields_close(self, netflow_trace, bit_encoder):
+        _, decoded = encode_decode(netflow_trace, bit_encoder)
+        # Compare matched sorted distributions loosely (quantisation).
+        real_logpkt = np.sort(np.log1p(netflow_trace.packets))[: len(decoded)]
+        syn_logpkt = np.sort(np.log1p(decoded.packets))[: len(decoded)]
+        assert np.abs(real_logpkt.mean() - syn_logpkt.mean()) < 0.4
+
+    def test_labels_roundtrip(self, bit_encoder):
+        trace = load_dataset("ton", n_records=400, seed=0)
+        encoder = FlowTensorEncoder("netflow", max_timesteps=8,
+                                    port_encoding="bit").fit(trace)
+        _, decoded = encode_decode(trace, encoder)
+        assert abs(decoded.label.mean() - trace.label.mean()) < 0.15
+
+    def test_decoded_validates(self, netflow_trace, bit_encoder):
+        _, decoded = encode_decode(netflow_trace, bit_encoder)
+        decoded.validate()
+
+    def test_gen_flags_prefix_form(self, netflow_trace, bit_encoder):
+        encoded, _ = encode_decode(netflow_trace, bit_encoder)
+        for row in encoded.gen_flags:
+            active = np.nonzero(row)[0]
+            if len(active):
+                assert active.max() == len(active) - 1  # contiguous prefix
+
+
+class TestIp2vecPorts:
+    @pytest.fixture(scope="class")
+    def encoder(self, netflow_trace, public_ip2vec):
+        return FlowTensorEncoder(
+            "netflow", max_timesteps=8, port_encoding="ip2vec",
+            ip2vec=public_ip2vec,
+        ).fit(netflow_trace)
+
+    def test_metadata_width_uses_embedding_dim(self, encoder, public_ip2vec):
+        assert encoder.metadata_width == 64 + 3 * public_ip2vec.dim
+
+    def test_service_ports_roundtrip(self, netflow_trace, encoder):
+        """Service ports in the public dictionary must survive the
+        encode/decode cycle (the Fig 3 mechanism)."""
+        _, decoded = encode_decode(netflow_trace, encoder)
+        real_share = np.isin(netflow_trace.dst_port, [53, 80, 443]).mean()
+        syn_share = np.isin(decoded.dst_port, [53, 80, 443]).mean()
+        assert abs(real_share - syn_share) < 0.25
+
+    def test_protocols_roundtrip(self, netflow_trace, encoder):
+        _, decoded = encode_decode(netflow_trace, encoder)
+        for proto in (6, 17):
+            real = (netflow_trace.protocol == proto).mean()
+            syn = (decoded.protocol == proto).mean()
+            assert abs(real - syn) < 0.3
+
+    def test_requires_ip2vec_instance(self):
+        with pytest.raises(ValueError):
+            FlowTensorEncoder("netflow", port_encoding="ip2vec")
+
+
+class TestPcapRoundTrip:
+    @pytest.fixture(scope="class")
+    def encoder(self, pcap_trace):
+        return FlowTensorEncoder("pcap", max_timesteps=16,
+                                 port_encoding="bit").fit(pcap_trace)
+
+    def test_decoded_is_packet_trace(self, pcap_trace, encoder):
+        _, decoded = encode_decode(pcap_trace, encoder)
+        assert isinstance(decoded, PacketTrace)
+        decoded.validate()
+
+    def test_multi_packet_flows_preserved(self, pcap_trace, encoder):
+        _, decoded = encode_decode(pcap_trace, encoder)
+        assert (decoded.flow_sizes() > 1).any()
+
+    def test_packet_sizes_close(self, pcap_trace, encoder):
+        _, decoded = encode_decode(pcap_trace, encoder)
+        assert abs(
+            decoded.packet_size.mean() - pcap_trace.packet_size.mean()
+        ) < 0.25 * pcap_trace.packet_size.mean()
+
+    def test_timestamps_within_window(self, pcap_trace, encoder):
+        flows = split_into_flows(pcap_trace)
+        window = time_range(pcap_trace)
+        encoded = encoder.encode_chunk(flows, window)
+        decoded = encoder.decode(encoded, window)
+        assert decoded.timestamp.min() >= window[0] - 1e-6
+        assert decoded.timestamp.max() <= window[1] + 1e-6
+
+
+class TestChunkedEncoding:
+    def test_flow_tags_in_metadata(self, netflow_trace):
+        trace = load_dataset("ugr16", n_records=1500, seed=2)
+        encoder = FlowTensorEncoder("netflow", max_timesteps=8,
+                                    port_encoding="bit", n_chunks=4).fit(trace)
+        chunks = chunk_flows(trace, 4)
+        lo, hi = time_range(trace)
+        edges = np.linspace(lo, hi, 5)
+        non_empty = [c for c in chunks if c]
+        assert non_empty
+        encoded = encoder.encode_chunk(
+            non_empty[0], (edges[0], edges[1])
+        )
+        # Last 5 metadata columns are the flow tags (1 + 4 chunks).
+        tags = encoded.metadata[:, -5:]
+        assert set(np.unique(tags)) <= {0.0, 1.0}
+        assert encoder.metadata_width == encoded.metadata.shape[1]
+
+    def test_empty_chunk_raises(self, netflow_trace):
+        encoder = FlowTensorEncoder("netflow", port_encoding="bit")
+        encoder.fit(netflow_trace)
+        with pytest.raises(ValueError):
+            encoder.encode_chunk([], (0.0, 1.0))
+
+
+class TestEncoderValidation:
+    def test_bad_kind_raises(self):
+        with pytest.raises(ValueError):
+            FlowTensorEncoder("mystery")
+
+    def test_bad_port_encoding_raises(self):
+        with pytest.raises(ValueError):
+            FlowTensorEncoder("netflow", port_encoding="onehot")
+
+    def test_vector_ip_encoding_rejected(self):
+        """Table 2: IP/vector fails privacy; NetShare only allows bits."""
+        with pytest.raises(ValueError):
+            FlowTensorEncoder("netflow", ip_encoding="vector")
+
+    def test_unfitted_encode_raises(self, netflow_trace):
+        encoder = FlowTensorEncoder("netflow", port_encoding="bit")
+        flows = split_into_flows(netflow_trace)
+        with pytest.raises(RuntimeError):
+            encoder.encode_chunk(flows, (0.0, 1.0))
+
+    def test_fit_wrong_type_raises(self, pcap_trace):
+        with pytest.raises(TypeError):
+            FlowTensorEncoder("netflow", port_encoding="bit").fit(pcap_trace)
+
+    def test_bad_timesteps_raises(self):
+        with pytest.raises(ValueError):
+            FlowTensorEncoder("netflow", max_timesteps=0, port_encoding="bit")
+
+
+class TestElephantFlowSketch:
+    """PCAP flows longer than max_timesteps are carried as a T-point
+    sketch plus a flow-size metadata feature and re-expanded on decode."""
+
+    @pytest.fixture(scope="class")
+    def elephant_setup(self):
+        trace = load_dataset("dc", n_records=2000, seed=0)
+        encoder = FlowTensorEncoder("pcap", max_timesteps=12,
+                                    port_encoding="bit").fit(trace)
+        flows = split_into_flows(trace)
+        window = time_range(trace)
+        return trace, encoder, flows, window
+
+    def test_metadata_has_flow_size_feature(self, elephant_setup):
+        trace, encoder, flows, window = elephant_setup
+        assert encoder.metadata_width == 64 + 32 + 3 + 1
+        segments = encoder.metadata_segments()
+        assert ("sigmoid", 1) in segments
+
+    def test_roundtrip_preserves_packet_count(self, elephant_setup):
+        trace, encoder, flows, window = elephant_setup
+        encoded = encoder.encode_chunk(flows, window)
+        decoded = encoder.decode(encoded, window,
+                                 rng=np.random.default_rng(0))
+        assert len(decoded) == len(trace)
+
+    def test_roundtrip_preserves_flow_size_tail(self, elephant_setup):
+        trace, encoder, flows, window = elephant_setup
+        encoded = encoder.encode_chunk(flows, window)
+        decoded = encoder.decode(encoded, window,
+                                 rng=np.random.default_rng(0))
+        assert decoded.flow_sizes().max() == trace.flow_sizes().max()
+
+    def test_expanded_timestamps_monotone_within_flow(self, elephant_setup):
+        trace, encoder, flows, window = elephant_setup
+        encoded = encoder.encode_chunk(flows, window)
+        decoded = encoder.decode(encoded, window,
+                                 rng=np.random.default_rng(0))
+        for idx in decoded.group_by_five_tuple().values():
+            times = decoded.timestamp[idx]
+            assert np.all(np.diff(np.sort(times)) >= 0)
+
+    def test_expanded_sizes_from_sketch_support(self, elephant_setup):
+        trace, encoder, flows, window = elephant_setup
+        encoded = encoder.encode_chunk(flows, window)
+        decoded = encoder.decode(encoded, window,
+                                 rng=np.random.default_rng(0))
+        assert decoded.packet_size.min() >= 20
+        assert decoded.packet_size.max() <= 65535

@@ -1,0 +1,309 @@
+"""Tests for the fidelity metrics (JSD, EMD, rank, consistency)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import FlowTrace, PacketTrace, ips_to_ints, load_dataset
+from repro.metrics import (
+    categorical_histogram,
+    compare_models,
+    consistency_report,
+    earth_movers_distance,
+    evaluate_fidelity,
+    js_divergence,
+    normalize_emds,
+    rank_correlation_of_scores,
+    rankdata,
+    spearman_rank_correlation,
+    test1_ip_validity as check_ip_validity,
+    test2_bytes_packets as check_bytes_packets,
+    test3_port_protocol as check_port_protocol,
+    test4_min_packet_size as check_min_packet_size,
+    total_variation_distance,
+)
+
+
+class TestJSD:
+    def test_identical_is_zero(self):
+        x = np.array([1, 2, 2, 3, 3, 3])
+        assert js_divergence(x, x.copy()) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_is_one(self):
+        assert js_divergence(np.array([1, 1]), np.array([2, 2])) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        a, b = np.array([1, 1, 2]), np.array([2, 3, 3])
+        assert js_divergence(a, b) == pytest.approx(js_divergence(b, a))
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 10, 100)
+        b = rng.integers(5, 15, 100)
+        assert 0.0 <= js_divergence(a, b) <= 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            js_divergence(np.array([]), np.array([1]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 5), min_size=1, max_size=50),
+        st.lists(st.integers(0, 5), min_size=1, max_size=50),
+    )
+    def test_jsd_in_unit_interval(self, a, b):
+        d = js_divergence(np.array(a), np.array(b))
+        assert -1e-12 <= d <= 1.0 + 1e-12
+
+
+class TestEMD:
+    def test_identical_is_zero(self):
+        x = np.array([1.0, 5.0, 9.0])
+        assert earth_movers_distance(x, x.copy()) == pytest.approx(0.0)
+
+    def test_shift_by_constant(self):
+        x = np.array([0.0, 1.0, 2.0])
+        assert earth_movers_distance(x, x + 3.0) == pytest.approx(3.0)
+
+    def test_point_masses(self):
+        assert earth_movers_distance(np.array([0.0]), np.array([7.0])) == pytest.approx(7.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=40), rng.normal(2.0, size=60)
+        assert earth_movers_distance(a, b) == pytest.approx(
+            earth_movers_distance(b, a)
+        )
+
+    def test_matches_scipy(self):
+        from scipy.stats import wasserstein_distance
+
+        rng = np.random.default_rng(2)
+        a, b = rng.exponential(size=100), rng.exponential(2.0, size=80)
+        assert earth_movers_distance(a, b) == pytest.approx(
+            wasserstein_distance(a, b), rel=1e-9
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            earth_movers_distance(np.array([]), np.array([1.0]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=40),
+        st.lists(st.floats(-100, 100), min_size=1, max_size=40),
+        st.lists(st.floats(-100, 100), min_size=1, max_size=40),
+    )
+    def test_triangle_inequality(self, a, b, c):
+        a, b, c = np.array(a), np.array(b), np.array(c)
+        ab = earth_movers_distance(a, b)
+        bc = earth_movers_distance(b, c)
+        ac = earth_movers_distance(a, c)
+        assert ac <= ab + bc + 1e-9
+
+
+class TestNormalizeEmds:
+    def test_range(self):
+        result = normalize_emds({"a": 1.0, "b": 5.0, "c": 3.0})
+        assert result["a"] == pytest.approx(0.1)
+        assert result["b"] == pytest.approx(0.9)
+        assert 0.1 < result["c"] < 0.9
+
+    def test_order_preserved(self):
+        result = normalize_emds({"a": 2.0, "b": 10.0})
+        assert result["a"] < result["b"]
+
+    def test_ties_get_midpoint(self):
+        result = normalize_emds({"a": 4.0, "b": 4.0})
+        assert result["a"] == result["b"] == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert normalize_emds({}) == {}
+
+
+class TestHistograms:
+    def test_histogram_sums_to_one(self):
+        support = np.array([1, 2, 3])
+        h = categorical_histogram(np.array([1, 1, 2]), support)
+        np.testing.assert_allclose(h.sum(), 1.0)
+        np.testing.assert_allclose(h, [2 / 3, 1 / 3, 0.0])
+
+    def test_tv_distance(self):
+        assert total_variation_distance(
+            np.array([1, 1]), np.array([2, 2])
+        ) == pytest.approx(1.0)
+
+
+class TestSpearman:
+    def test_perfect_correlation(self):
+        assert spearman_rank_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert spearman_rank_correlation([1, 2, 3], [5, 4, 3]) == pytest.approx(-1.0)
+
+    def test_ties_handled(self):
+        rho = spearman_rank_correlation([1, 1, 2], [1, 1, 2])
+        assert rho == pytest.approx(1.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1, 2], [1, 2, 3])
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1], [1])
+
+    def test_rankdata_average_ties(self):
+        np.testing.assert_allclose(rankdata([10, 20, 20, 30]), [1, 2.5, 2.5, 4])
+
+    def test_keyed_scores(self):
+        real = {"dt": 0.9, "lr": 0.7, "rf": 0.95}
+        syn = {"dt": 0.85, "lr": 0.6, "rf": 0.9}
+        assert rank_correlation_of_scores(real, syn) == pytest.approx(1.0)
+
+    def test_keyed_scores_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rank_correlation_of_scores({"a": 1.0, "b": 0.5}, {"a": 1.0})
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-10, 10), min_size=2, max_size=20, unique=True))
+    def test_self_correlation_is_one(self, scores):
+        assert spearman_rank_correlation(scores, scores) == pytest.approx(1.0)
+
+
+def _make_flow(src="10.0.0.1", dst="172.16.0.1", sport=1234, dport=80,
+               proto=6, pkt=10, byt=5000):
+    return FlowTrace(
+        src_ip=ips_to_ints([src]), dst_ip=ips_to_ints([dst]),
+        src_port=[sport], dst_port=[dport], protocol=[proto],
+        start_time=[0.0], duration=[1.0], packets=[pkt], bytes=[byt],
+    )
+
+
+class TestConsistencyChecks:
+    def test_test1_passes_normal(self):
+        assert check_ip_validity(_make_flow()) == 1.0
+
+    def test_test1_rejects_multicast_source(self):
+        assert check_ip_validity(_make_flow(src="224.0.0.5")) == 0.0
+
+    def test_test1_rejects_broadcast_source(self):
+        assert check_ip_validity(_make_flow(src="255.1.2.3")) == 0.0
+
+    def test_test1_rejects_zero_destination(self):
+        assert check_ip_validity(_make_flow(dst="0.1.2.3")) == 0.0
+
+    def test_test2_tcp_bounds(self):
+        assert check_bytes_packets(_make_flow(pkt=10, byt=400)) == 1.0
+        assert check_bytes_packets(_make_flow(pkt=10, byt=399)) == 0.0
+        assert check_bytes_packets(_make_flow(pkt=1, byt=65536)) == 0.0
+
+    def test_test2_udp_bounds(self):
+        assert check_bytes_packets(_make_flow(proto=17, pkt=10, byt=280)) == 1.0
+        assert check_bytes_packets(_make_flow(proto=17, pkt=10, byt=279)) == 0.0
+
+    def test_test2_icmp_unconstrained(self):
+        assert check_bytes_packets(_make_flow(proto=1, pkt=10, byt=1)) == 1.0
+
+    def test_test3_dns_must_be_udp(self):
+        assert check_port_protocol(_make_flow(dport=53, proto=17)) == 1.0
+        assert check_port_protocol(_make_flow(dport=53, proto=6)) == 0.0
+
+    def test_test3_http_must_be_tcp(self):
+        assert check_port_protocol(_make_flow(dport=80, proto=6)) == 1.0
+        assert check_port_protocol(_make_flow(dport=80, proto=17)) == 0.0
+
+    def test_test3_unknown_port_vacuous(self):
+        assert check_port_protocol(_make_flow(dport=50000, proto=17)) == 1.0
+
+    def test_test4_packet_minimums(self):
+        trace = PacketTrace(
+            timestamp=[0.0, 1.0], src_ip=ips_to_ints(["10.0.0.1"] * 2),
+            dst_ip=ips_to_ints(["172.16.0.1"] * 2), src_port=[1, 2],
+            dst_port=[80, 53], protocol=[6, 17], packet_size=[39, 28],
+        )
+        assert check_min_packet_size(trace) == 0.5
+
+    def test_report_flow_keys(self):
+        report = consistency_report(_make_flow())
+        assert set(report) == {"test1", "test2", "test3"}
+
+    def test_report_pcap_keys(self):
+        trace = load_dataset("caida", n_records=200, seed=0)
+        report = consistency_report(trace)
+        assert set(report) == {"test1", "test2", "test3", "test4"}
+        # Ground-truth generated data should be nearly fully compliant.
+        assert all(v > 0.95 for v in report.values())
+
+    def test_ground_truth_netflow_compliant(self):
+        trace = load_dataset("ugr16", n_records=500, seed=0)
+        report = consistency_report(trace)
+        assert all(v > 0.95 for v in report.values())
+
+    def test_test2_wrong_type_raises(self):
+        trace = load_dataset("caida", n_records=50, seed=0)
+        with pytest.raises(TypeError):
+            check_bytes_packets(trace)
+
+    def test_test4_wrong_type_raises(self):
+        with pytest.raises(TypeError):
+            check_min_packet_size(_make_flow())
+
+
+class TestFidelityReport:
+    @pytest.fixture(scope="class")
+    def real(self):
+        return load_dataset("ugr16", n_records=400, seed=0)
+
+    def test_self_fidelity_perfect(self, real):
+        report = evaluate_fidelity(real, real)
+        assert report.mean_jsd == pytest.approx(0.0, abs=1e-12)
+        assert report.mean_raw_emd() == pytest.approx(0.0, abs=1e-9)
+
+    def test_different_seed_nonzero(self, real):
+        other = load_dataset("ugr16", n_records=400, seed=1)
+        report = evaluate_fidelity(real, other)
+        assert report.mean_jsd > 0.0
+
+    def test_netflow_fields_present(self, real):
+        report = evaluate_fidelity(real, real)
+        assert set(report.jsd) == {"SA", "DA", "SP", "DP", "PR"}
+        assert set(report.emd) == {"TS", "TD", "PKT", "BYT"}
+
+    def test_pcap_fields_present(self):
+        trace = load_dataset("caida", n_records=300, seed=0)
+        report = evaluate_fidelity(trace, trace)
+        assert set(report.emd) == {"PS", "PAT", "FS"}
+
+    def test_type_mismatch_raises(self, real):
+        pcap = load_dataset("caida", n_records=100, seed=0)
+        with pytest.raises(TypeError):
+            evaluate_fidelity(real, pcap)
+
+    def test_summary_mentions_fields(self, real):
+        text = evaluate_fidelity(real, real).summary()
+        assert "SA" in text and "mean JSD" in text
+
+
+class TestModelComparison:
+    def test_better_model_wins(self):
+        real = load_dataset("ugr16", n_records=400, seed=0)
+        close = load_dataset("ugr16", n_records=400, seed=1)
+        # A structurally different profile = a bad baseline.
+        far = load_dataset("cidds", n_records=400, seed=1)
+        comparison = compare_models(real, {"good": close, "bad": far})
+        assert comparison.mean_jsd("good") < comparison.mean_jsd("bad")
+        assert comparison.mean_normalized_emd("good") < comparison.mean_normalized_emd("bad")
+        assert comparison.improvement_over_baselines("good") > 0
+
+    def test_table_renders(self):
+        real = load_dataset("ugr16", n_records=200, seed=0)
+        comparison = compare_models(real, {"m": real})
+        assert "mean JSD" in comparison.table()
+
+    def test_improvement_requires_baseline(self):
+        real = load_dataset("ugr16", n_records=200, seed=0)
+        comparison = compare_models(real, {"only": real})
+        with pytest.raises(ValueError):
+            comparison.improvement_over_baselines("only")

@@ -1,0 +1,271 @@
+"""Tests for the from-scratch classifier substrate."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    CLASSIFIER_FACTORIES,
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    LogisticRegression,
+    MLPClassifier,
+    OneClassSVM,
+    RandomForestClassifier,
+    StandardScaler,
+    accuracy_score,
+    confusion_matrix,
+    macro_f1_score,
+)
+
+
+def make_blobs(seed=0, n_per_class=80, n_classes=3, spread=0.6):
+    """Well-separated Gaussian blobs in 2-D."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0, 0], [4, 0], [0, 4], [4, 4]])[:n_classes]
+    xs, ys = [], []
+    for k, c in enumerate(centers):
+        xs.append(rng.normal(c, spread, size=(n_per_class, 2)))
+        ys.append(np.full(n_per_class, k))
+    x = np.vstack(xs)
+    y = np.concatenate(ys)
+    order = rng.permutation(len(y))
+    return x[order], y[order]
+
+
+def make_moons_like(seed=0, n=200):
+    """A non-linearly-separable 2-class problem (two arcs)."""
+    rng = np.random.default_rng(seed)
+    t = rng.uniform(0, np.pi, n)
+    x1 = np.column_stack([np.cos(t), np.sin(t)]) + rng.normal(0, 0.1, (n, 2))
+    x2 = np.column_stack([1 - np.cos(t), 0.5 - np.sin(t)]) + rng.normal(0, 0.1, (n, 2))
+    x = np.vstack([x1, x2])
+    y = np.concatenate([np.zeros(n, dtype=int), np.ones(n, dtype=int)])
+    order = rng.permutation(len(y))
+    return x[order], y[order]
+
+
+class TestDecisionTree:
+    def test_separable_blobs(self):
+        x, y = make_blobs()
+        model = DecisionTreeClassifier(max_depth=6).fit(x, y)
+        assert accuracy_score(y, model.predict(x)) > 0.95
+
+    def test_probabilities_sum_to_one(self):
+        x, y = make_blobs()
+        probs = DecisionTreeClassifier().fit(x, y).predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_depth_one_is_stump(self):
+        x, y = make_blobs(n_classes=2)
+        model = DecisionTreeClassifier(max_depth=1).fit(x, y)
+        # A stump partitions into at most 2 distinct probability rows.
+        rows = {tuple(np.round(r, 6)) for r in model.predict_proba(x)}
+        assert len(rows) <= 2
+
+    def test_single_class(self):
+        x = np.random.default_rng(0).normal(size=(20, 3))
+        y = np.zeros(20, dtype=int)
+        model = DecisionTreeClassifier().fit(x, y)
+        assert np.all(model.predict(x) == 0)
+
+    def test_nonconsecutive_labels(self):
+        x, y = make_blobs(n_classes=2)
+        y = np.where(y == 0, 10, 42)
+        model = DecisionTreeClassifier().fit(x, y)
+        assert set(model.predict(x)) <= {10, 42}
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_bad_depth_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+
+    def test_wrong_feature_count_raises(self):
+        x, y = make_blobs()
+        model = DecisionTreeClassifier().fit(x, y)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((3, 5)))
+
+
+class TestDecisionTreeRegressor:
+    def test_fits_step_function(self):
+        x = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (x[:, 0] > 0.5).astype(float) * 3.0
+        model = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        pred = model.predict(x)
+        assert np.abs(pred - y).max() < 0.1
+
+    def test_constant_target(self):
+        x = np.random.default_rng(0).normal(size=(30, 2))
+        y = np.full(30, 7.0)
+        model = DecisionTreeRegressor().fit(x, y)
+        np.testing.assert_allclose(model.predict(x), 7.0)
+
+
+class TestRandomForest:
+    def test_blobs(self):
+        x, y = make_blobs()
+        model = RandomForestClassifier(n_estimators=10, max_depth=6).fit(x, y)
+        assert accuracy_score(y, model.predict(x)) > 0.95
+
+    def test_nonlinear_beats_linear(self):
+        x, y = make_moons_like()
+        scaler = StandardScaler()
+        xs = scaler.fit_transform(x)
+        rf = RandomForestClassifier(n_estimators=15, max_depth=8).fit(xs, y)
+        lr = LogisticRegression(n_iter=200).fit(xs, y)
+        assert accuracy_score(y, rf.predict(xs)) > accuracy_score(y, lr.predict(xs))
+
+    def test_deterministic_given_seed(self):
+        x, y = make_blobs()
+        a = RandomForestClassifier(n_estimators=5, seed=3).fit(x, y).predict(x)
+        b = RandomForestClassifier(n_estimators=5, seed=3).fit(x, y).predict(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_estimators_raises(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict_proba(np.zeros((1, 2)))
+
+
+class TestGradientBoosting:
+    def test_blobs(self):
+        x, y = make_blobs()
+        model = GradientBoostingClassifier(n_estimators=15).fit(x, y)
+        assert accuracy_score(y, model.predict(x)) > 0.95
+
+    def test_probabilities_valid(self):
+        x, y = make_blobs(n_classes=2)
+        probs = GradientBoostingClassifier(n_estimators=5).fit(x, y).predict_proba(x)
+        assert np.all(probs >= 0)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_more_rounds_lower_training_error(self):
+        x, y = make_moons_like(n=150)
+        few = GradientBoostingClassifier(n_estimators=2, max_depth=2).fit(x, y)
+        many = GradientBoostingClassifier(n_estimators=30, max_depth=2).fit(x, y)
+        assert accuracy_score(y, many.predict(x)) >= accuracy_score(y, few.predict(x))
+
+    def test_bad_learning_rate_raises(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(learning_rate=0.0)
+
+
+class TestLogisticRegression:
+    def test_linearly_separable(self):
+        x, y = make_blobs(n_classes=2)
+        model = LogisticRegression(n_iter=300).fit(x, y)
+        assert accuracy_score(y, model.predict(x)) > 0.95
+
+    def test_multiclass(self):
+        x, y = make_blobs(n_classes=4)
+        model = LogisticRegression(n_iter=400).fit(x, y)
+        assert accuracy_score(y, model.predict(x)) > 0.9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+
+class TestMLP:
+    def test_nonlinear_problem(self):
+        x, y = make_moons_like(n=150)
+        xs = StandardScaler().fit_transform(x)
+        model = MLPClassifier(hidden=(24,), n_epochs=40, seed=0).fit(xs, y)
+        assert accuracy_score(y, model.predict(xs)) > 0.9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPClassifier().predict(np.zeros((1, 2)))
+
+
+class TestOneClassSVM:
+    def test_flags_far_outliers(self):
+        rng = np.random.default_rng(0)
+        inliers = rng.normal(0, 1, size=(300, 2))
+        outliers = rng.normal(8, 0.5, size=(30, 2))
+        model = OneClassSVM(nu=0.1, kernel="rbf", gamma=0.3, seed=0).fit(inliers)
+        assert model.anomaly_ratio(outliers) > 0.8
+        assert model.anomaly_ratio(inliers) < 0.35
+
+    def test_nu_bounds_training_outlier_fraction(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(400, 3))
+        for nu in (0.05, 0.2):
+            model = OneClassSVM(nu=nu, kernel="linear", n_epochs=60).fit(x)
+            # The fraction of flagged training points tracks nu loosely.
+            assert model.anomaly_ratio(x) < nu + 0.25
+
+    def test_linear_kernel_works(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(5, 1, size=(200, 2))
+        model = OneClassSVM(nu=0.1, kernel="linear").fit(x)
+        far = np.full((20, 2), -30.0)
+        assert model.anomaly_ratio(far) > 0.9
+
+    def test_bad_nu_raises(self):
+        with pytest.raises(ValueError):
+            OneClassSVM(nu=0.0)
+
+    def test_bad_kernel_raises(self):
+        with pytest.raises(ValueError):
+            OneClassSVM(kernel="poly")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            OneClassSVM().decision_function(np.zeros((1, 2)))
+
+
+class TestScalerAndMetrics:
+    def test_scaler_standardises(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(500, 4))
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_scaler_constant_column(self):
+        x = np.ones((10, 2))
+        z = StandardScaler().fit_transform(x)
+        assert np.all(np.isfinite(z))
+
+    def test_scaler_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((1, 1)))
+
+    def test_accuracy(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 4]) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_confusion_matrix(self):
+        m = confusion_matrix([0, 0, 1], [0, 1, 1])
+        np.testing.assert_array_equal(m, [[1, 1], [0, 1]])
+
+    def test_macro_f1_perfect(self):
+        assert macro_f1_score([0, 1, 2], [0, 1, 2]) == pytest.approx(1.0)
+
+
+class TestFactories:
+    def test_all_five_present(self):
+        assert set(CLASSIFIER_FACTORIES) == {"DT", "LR", "RF", "GB", "MLP"}
+
+    @pytest.mark.parametrize("name", ["DT", "LR", "RF", "GB", "MLP"])
+    def test_factory_models_learn(self, name):
+        x, y = make_blobs(n_per_class=50)
+        xs = StandardScaler().fit_transform(x)
+        model = CLASSIFIER_FACTORIES[name]()
+        model.fit(xs, y)
+        assert accuracy_score(y, model.predict(xs)) > 0.85

@@ -1,0 +1,115 @@
+"""Tests for the NetML feature representations and anomaly harness."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import PacketTrace, ips_to_ints, load_dataset
+from repro.netml import (
+    NETML_MODES,
+    anomaly_ratio,
+    eligible_flow_count,
+    flow_features,
+    mode_anomaly_ratios,
+    relative_errors,
+)
+
+
+def two_flow_trace():
+    """One 4-packet flow and one 1-packet flow."""
+    return PacketTrace(
+        timestamp=[0.0, 10.0, 30.0, 60.0, 5.0],
+        src_ip=ips_to_ints(["10.0.0.1"] * 4 + ["10.0.0.2"]),
+        dst_ip=ips_to_ints(["172.16.0.1"] * 4 + ["172.16.0.2"]),
+        src_port=[1000] * 4 + [2000],
+        dst_port=[80] * 4 + [53],
+        protocol=[6] * 4 + [17],
+        packet_size=[40, 1500, 1500, 100, 28],
+    )
+
+
+class TestFlowFeatures:
+    def test_single_packet_flows_excluded(self):
+        features = flow_features(two_flow_trace(), "SIZE")
+        assert features.shape[0] == 1  # only the 4-packet flow
+
+    def test_eligible_count(self):
+        assert eligible_flow_count(two_flow_trace()) == 1
+
+    def test_iat_values(self):
+        features = flow_features(two_flow_trace(), "IAT")
+        np.testing.assert_allclose(features[0][:3], [10.0, 20.0, 30.0])
+        np.testing.assert_allclose(features[0][3:], 0.0)
+
+    def test_size_values(self):
+        features = flow_features(two_flow_trace(), "SIZE")
+        np.testing.assert_allclose(features[0][:4], [40, 1500, 1500, 100])
+
+    def test_iat_size_concatenation(self):
+        iat = flow_features(two_flow_trace(), "IAT")
+        size = flow_features(two_flow_trace(), "SIZE")
+        both = flow_features(two_flow_trace(), "IAT_SIZE")
+        np.testing.assert_allclose(both, np.hstack([iat, size]))
+
+    def test_stats_values(self):
+        features = flow_features(two_flow_trace(), "STATS")
+        duration, count, total = features[0][:3]
+        assert duration == pytest.approx(60.0)
+        assert count == 4
+        assert total == pytest.approx(40 + 1500 + 1500 + 100)
+
+    def test_samp_num_conserves_packets(self):
+        features = flow_features(two_flow_trace(), "SAMP_NUM")
+        assert features[0].sum() == pytest.approx(4)
+
+    def test_samp_size_conserves_bytes(self):
+        features = flow_features(two_flow_trace(), "SAMP_SIZE")
+        assert features[0].sum() == pytest.approx(3140)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            flow_features(two_flow_trace(), "MAGIC")
+
+    def test_no_multipacket_flows_raises(self):
+        trace = two_flow_trace().subset(np.array([4]))
+        with pytest.raises(ValueError):
+            flow_features(trace, "SIZE")
+
+    def test_wrong_type_raises(self):
+        flow = load_dataset("ugr16", n_records=50, seed=0)
+        with pytest.raises(TypeError):
+            flow_features(flow, "SIZE")
+
+    @pytest.mark.parametrize("mode", NETML_MODES)
+    def test_all_modes_on_real_trace(self, mode):
+        trace = load_dataset("caida", n_records=800, seed=0)
+        features = flow_features(trace, mode)
+        assert features.ndim == 2
+        assert len(features) == eligible_flow_count(trace)
+        assert np.all(np.isfinite(features))
+
+
+class TestAnomalyHarness:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return load_dataset("ca", n_records=1200, seed=0)
+
+    def test_ratio_in_unit_interval(self, trace):
+        ratio = anomaly_ratio(trace, "STATS", seed=0)
+        assert 0.0 <= ratio <= 1.0
+
+    def test_mode_ratios_cover_all_modes(self, trace):
+        ratios = mode_anomaly_ratios(trace, n_runs=1, modes=["STATS", "SIZE"])
+        assert set(ratios) == {"STATS", "SIZE"}
+
+    def test_relative_errors_zero_for_identical(self):
+        r = {"STATS": 0.1, "SIZE": 0.2}
+        errors = relative_errors(r, dict(r))
+        assert all(v == pytest.approx(0.0) for v in errors.values())
+
+    def test_relative_errors_computed(self):
+        errors = relative_errors({"A": 0.1}, {"A": 0.15})
+        assert errors["A"] == pytest.approx(0.5)
+
+    def test_relative_errors_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            relative_errors({"A": 0.1}, {"B": 0.1})

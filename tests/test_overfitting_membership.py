@@ -1,0 +1,103 @@
+"""Tests for memorization metrics (§8) and the membership attack."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.metrics import (
+    memorization_score,
+    nearest_record_distances,
+    overlap_report,
+)
+from repro.privacy import membership_inference_attack
+
+
+@pytest.fixture(scope="module")
+def real():
+    return load_dataset("ugr16", n_records=500, seed=0)
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    """Same distribution, disjoint sample — a non-memorizing oracle."""
+    return load_dataset("ugr16", n_records=500, seed=42)
+
+
+class TestOverlapReport:
+    def test_copy_has_full_overlap(self, real):
+        report = overlap_report(real, real)
+        assert report.src_ip == pytest.approx(1.0)
+        assert report.dst_ip == pytest.approx(1.0)
+        assert report.five_tuple == pytest.approx(1.0)
+
+    def test_fresh_sample_partial_ip_overlap(self, real, fresh):
+        """Fresh samples share the IP pool but not exact five-tuples."""
+        report = overlap_report(real, fresh)
+        assert report.five_tuple < 0.2
+        assert 0.0 <= report.src_ip <= 1.0
+
+    def test_summary_renders(self, real, fresh):
+        assert "overlap" in overlap_report(real, fresh).summary()
+
+    def test_pcap_supported(self):
+        trace = load_dataset("caida", n_records=300, seed=0)
+        report = overlap_report(trace, trace)
+        assert report.five_tuple == pytest.approx(1.0)
+
+
+class TestNearestRecordDistances:
+    def test_copy_is_zero_distance(self, real):
+        d = nearest_record_distances(real, real)
+        np.testing.assert_allclose(d, 0.0, atol=1e-12)
+
+    def test_fresh_sample_nonzero(self, real, fresh):
+        d = nearest_record_distances(real, fresh)
+        assert d.mean() > 0.0
+
+    def test_length_matches_synthetic(self, real, fresh):
+        d = nearest_record_distances(real, fresh, max_records=100)
+        assert len(d) == 100
+
+
+class TestMemorizationScore:
+    def test_verbatim_copy_flags_memorization(self, real):
+        score = memorization_score(real, real)
+        assert score > 5.0 or score == float("inf")
+
+    def test_fresh_sample_not_flagged(self, real, fresh):
+        assert memorization_score(real, fresh) < 2.0
+
+    def test_netshare_not_memorizing(self, real):
+        """The §8 conclusion: NetShare is not memorizing."""
+        from repro import NetShare, NetShareConfig
+
+        model = NetShare(NetShareConfig(
+            n_chunks=1, epochs_seed=5, seed=0)).fit(real)
+        synthetic = model.generate(300, seed=1)
+        assert memorization_score(real, synthetic) < 2.0
+
+
+class TestMembershipAttack:
+    def test_auc_near_half_for_oracle(self, real, fresh):
+        """A generator that outputs fresh same-distribution data leaks
+        nothing: the attack cannot beat coin flipping by much."""
+        other = load_dataset("ugr16", n_records=500, seed=77)
+        result = membership_inference_attack(real, fresh, other)
+        assert 0.3 < result.auc < 0.7
+        assert not result.leaks
+
+    def test_auc_high_for_memorizing_generator(self, real, fresh):
+        """A generator that replays its training data leaks members."""
+        result = membership_inference_attack(real, fresh, real)
+        assert result.auc > 0.75
+        assert result.leaks
+        assert result.member_mean_distance < result.non_member_mean_distance
+
+    def test_netshare_attack_bounded(self, real, fresh):
+        from repro import NetShare, NetShareConfig
+
+        model = NetShare(NetShareConfig(
+            n_chunks=1, epochs_seed=5, seed=0)).fit(real)
+        synthetic = model.generate(400, seed=1)
+        result = membership_inference_attack(real, fresh, synthetic)
+        assert 0.0 <= result.auc <= 1.0

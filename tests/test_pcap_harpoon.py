@@ -1,0 +1,303 @@
+"""Tests for the libpcap exporter and the Harpoon baseline."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.baselines import Harpoon, make_baseline
+from repro.datasets import (
+    FlowTrace,
+    build_ipv4_packet,
+    load_dataset,
+    parse_ipv4_packet,
+    read_pcap,
+    write_pcap,
+)
+
+
+@pytest.fixture(scope="module")
+def pcap_trace():
+    return load_dataset("caida", n_records=300, seed=0)
+
+
+@pytest.fixture(scope="module")
+def netflow():
+    return load_dataset("ugr16", n_records=600, seed=0)
+
+
+class TestIpv4PacketBytes:
+    def test_roundtrip_tcp(self):
+        packet = build_ipv4_packet(
+            src_ip=0x0A000001, dst_ip=0xC0A80001, protocol=6,
+            src_port=1234, dst_port=80, total_length=120, ttl=63, ip_id=7)
+        fields = parse_ipv4_packet(packet)
+        assert fields["src_ip"] == 0x0A000001
+        assert fields["dst_ip"] == 0xC0A80001
+        assert fields["protocol"] == 6
+        assert fields["src_port"] == 1234
+        assert fields["dst_port"] == 80
+        assert fields["total_length"] == 120
+        assert fields["ttl"] == 63
+        assert len(packet) == 120
+
+    def test_roundtrip_udp(self):
+        packet = build_ipv4_packet(
+            src_ip=1, dst_ip=2, protocol=17,
+            src_port=53, dst_port=5353, total_length=60)
+        fields = parse_ipv4_packet(packet)
+        assert fields["protocol"] == 17
+        assert fields["src_port"] == 53
+
+    def test_icmp_has_no_ports(self):
+        packet = build_ipv4_packet(
+            src_ip=1, dst_ip=2, protocol=1,
+            src_port=0, dst_port=0, total_length=48)
+        fields = parse_ipv4_packet(packet)
+        assert fields["src_port"] == 0 and fields["dst_port"] == 0
+
+    def test_checksum_verifies(self):
+        """The IPv4 header must checksum to 0xFFFF when summed with its
+        own checksum field — the standard verification."""
+        packet = build_ipv4_packet(
+            src_ip=0x12345678, dst_ip=0x9ABCDEF0, protocol=6,
+            src_port=1, dst_port=2, total_length=40)
+        words = [
+            (packet[i] << 8) | packet[i + 1] for i in range(0, 20, 2)
+        ]
+        total = sum(words)
+        while total > 0xFFFF:
+            total = (total & 0xFFFF) + (total >> 16)
+        assert total == 0xFFFF
+
+    def test_minimum_length_enforced(self):
+        packet = build_ipv4_packet(
+            src_ip=1, dst_ip=2, protocol=6,
+            src_port=1, dst_port=2, total_length=5)
+        assert len(packet) >= 40  # IPv4 + TCP headers
+
+    def test_too_short_parse_raises(self):
+        with pytest.raises(ValueError):
+            parse_ipv4_packet(b"\x45\x00")
+
+    def test_non_ipv4_parse_raises(self):
+        with pytest.raises(ValueError):
+            parse_ipv4_packet(bytes([0x60] + [0] * 19))
+
+
+class TestPcapFile:
+    def test_roundtrip(self, pcap_trace, tmp_path):
+        path = tmp_path / "trace.pcap"
+        write_pcap(pcap_trace, path)
+        back = read_pcap(path)
+        assert len(back) == len(pcap_trace)
+        np.testing.assert_array_equal(back.src_ip, pcap_trace.src_ip)
+        np.testing.assert_array_equal(back.dst_ip, pcap_trace.dst_ip)
+        np.testing.assert_array_equal(back.protocol, pcap_trace.protocol)
+        np.testing.assert_allclose(back.timestamp, pcap_trace.timestamp,
+                                   atol=0.01)
+
+    def test_ports_preserved_for_l4(self, pcap_trace, tmp_path):
+        path = tmp_path / "trace.pcap"
+        write_pcap(pcap_trace, path)
+        back = read_pcap(path)
+        l4 = np.isin(pcap_trace.protocol, [6, 17])
+        np.testing.assert_array_equal(back.src_port[l4],
+                                      pcap_trace.src_port[l4])
+
+    def test_global_header_format(self, pcap_trace, tmp_path):
+        path = tmp_path / "trace.pcap"
+        write_pcap(pcap_trace, path)
+        header = path.read_bytes()[:24]
+        magic, major, minor = struct.unpack("<IHH", header[:8])
+        assert magic == 0xA1B2C3D4
+        assert (major, minor) == (2, 4)
+        (linktype,) = struct.unpack("<I", header[20:24])
+        assert linktype == 101  # LINKTYPE_RAW
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 40)
+        with pytest.raises(ValueError):
+            read_pcap(path)
+
+    def test_snaplen_validation(self, pcap_trace, tmp_path):
+        with pytest.raises(ValueError):
+            write_pcap(pcap_trace, tmp_path / "x.pcap", snaplen=10)
+
+
+class TestHarpoon:
+    def test_generation(self, netflow):
+        model = Harpoon(seed=0).fit(netflow)
+        syn = model.generate(300, seed=1)
+        assert isinstance(syn, FlowTrace)
+        assert len(syn) == 300
+        syn.validate()
+
+    def test_spatial_characteristics_preserved(self, netflow):
+        """Harpoon's defining property: IP frequency matches."""
+        from repro.metrics import js_divergence_ranked
+
+        model = Harpoon(seed=0).fit(netflow)
+        syn = model.generate(len(netflow), seed=1)
+        assert js_divergence_ranked(netflow.src_ip, syn.src_ip) < 0.1
+        assert set(syn.src_ip.tolist()) <= set(netflow.src_ip.tolist())
+
+    def test_volume_curve_preserved(self, netflow):
+        from repro.metrics import earth_movers_distance
+
+        model = Harpoon(seed=0).fit(netflow)
+        syn = model.generate(len(netflow), seed=1)
+        span = netflow.start_time.max() - netflow.start_time.min()
+        emd = earth_movers_distance(netflow.start_time, syn.start_time)
+        assert emd < 0.1 * span
+
+    def test_no_cross_field_structure(self, netflow):
+        """The §2.2 critique: marginals only — port/protocol coupling
+        is broken because fields are sampled independently."""
+        from repro.metrics import test3_port_protocol
+
+        model = Harpoon(seed=0).fit(netflow)
+        syn = model.generate(1000, seed=1)
+        assert test3_port_protocol(syn) < test3_port_protocol(netflow)
+
+    def test_netflow_only(self, pcap_trace):
+        with pytest.raises(TypeError):
+            Harpoon().fit(pcap_trace)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Harpoon().generate(10)
+
+    def test_registry_entry(self, netflow):
+        model = make_baseline("Harpoon")
+        model.fit(netflow)
+        assert len(model.generate(50, seed=0)) == 50
+
+    def test_bad_intervals_raise(self):
+        with pytest.raises(ValueError):
+            Harpoon(n_volume_intervals=0)
+
+
+class TestForeignPcapVariants:
+    """read_pcap must handle real-world captures: Ethernet link type,
+    VLAN tags, byte-swapped and nanosecond headers, non-IPv4 frames."""
+
+    @staticmethod
+    def _ethernet_capture(tmp_path, vlan=False, extra_arp=False):
+        ip_packet = build_ipv4_packet(
+            src_ip=0x0A000001, dst_ip=0x0A000002, protocol=6,
+            src_port=1234, dst_port=80, total_length=60)
+        mac = b"\xaa" * 6 + b"\xbb" * 6
+        if vlan:
+            frame = mac + b"\x81\x00\x00\x05\x08\x00" + ip_packet
+        else:
+            frame = mac + b"\x08\x00" + ip_packet
+        records = [frame]
+        if extra_arp:
+            records.append(mac + b"\x08\x06" + b"\x00" * 28)  # ARP frame
+        path = tmp_path / "eth.pcap"
+        with path.open("wb") as fh:
+            fh.write(struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0,
+                                 65535, 1))  # LINKTYPE_ETHERNET
+            for i, rec in enumerate(records):
+                fh.write(struct.pack("<IIII", 10 + i, 500000,
+                                     len(rec), len(rec)))
+                fh.write(rec)
+        return path
+
+    def test_ethernet_frames(self, tmp_path):
+        path = self._ethernet_capture(tmp_path)
+        trace = read_pcap(path)
+        assert len(trace) == 1
+        assert trace.src_ip[0] == 0x0A000001
+        assert trace.dst_port[0] == 80
+        assert trace.timestamp[0] == pytest.approx(10500.0)
+
+    def test_vlan_tag_unwrapped(self, tmp_path):
+        path = self._ethernet_capture(tmp_path, vlan=True)
+        trace = read_pcap(path)
+        assert len(trace) == 1
+        assert trace.dst_ip[0] == 0x0A000002
+
+    def test_non_ipv4_frames_skipped(self, tmp_path):
+        path = self._ethernet_capture(tmp_path, extra_arp=True)
+        trace = read_pcap(path)
+        assert len(trace) == 1  # the ARP frame is dropped
+
+    def test_byteswapped_capture(self, tmp_path):
+        ip_packet = build_ipv4_packet(
+            src_ip=0x01020304, dst_ip=0x05060708, protocol=17,
+            src_port=53, dst_port=5353, total_length=48)
+        path = tmp_path / "be.pcap"
+        with path.open("wb") as fh:
+            fh.write(struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0,
+                                 65535, 101))
+            fh.write(struct.pack(">IIII", 5, 250000,
+                                 len(ip_packet), len(ip_packet)))
+            fh.write(ip_packet)
+        trace = read_pcap(path)
+        assert len(trace) == 1
+        assert trace.src_ip[0] == 0x01020304
+        assert trace.timestamp[0] == pytest.approx(5250.0)
+
+    def test_nanosecond_magic(self, tmp_path):
+        ip_packet = build_ipv4_packet(
+            src_ip=1, dst_ip=2, protocol=6,
+            src_port=1, dst_port=2, total_length=40)
+        path = tmp_path / "ns.pcap"
+        with path.open("wb") as fh:
+            fh.write(struct.pack("<IHHiIII", 0xA1B23C4D, 2, 4, 0, 0,
+                                 65535, 101))
+            fh.write(struct.pack("<IIII", 1, 500_000_000,
+                                 len(ip_packet), len(ip_packet)))
+            fh.write(ip_packet)
+        trace = read_pcap(path)
+        assert trace.timestamp[0] == pytest.approx(1500.0)
+
+
+class TestSwing:
+    @pytest.fixture(scope="class")
+    def caida(self):
+        return load_dataset("caida", n_records=1200, seed=0)
+
+    def test_generation(self, caida):
+        from repro.baselines import Swing
+
+        model = Swing(seed=0).fit(caida)
+        syn = model.generate(400, seed=1)
+        assert len(syn) == 400
+        syn.validate()
+
+    def test_produces_multipacket_flows(self, caida):
+        """Unlike the tabular GAN baselines, the structural hierarchy
+        yields multi-packet connections."""
+        from repro.baselines import Swing
+
+        model = Swing(seed=0).fit(caida)
+        syn = model.generate(600, seed=1)
+        assert (syn.flow_sizes() > 1).mean() > 0.3
+
+    def test_source_hosts_from_real_data(self, caida):
+        from repro.baselines import Swing
+
+        model = Swing(seed=0).fit(caida)
+        syn = model.generate(300, seed=1)
+        assert set(syn.src_ip.tolist()) <= set(caida.src_ip.tolist())
+
+    def test_pcap_only(self, netflow):
+        from repro.baselines import Swing
+
+        with pytest.raises(TypeError):
+            Swing().fit(netflow)
+
+    def test_unfitted_raises(self):
+        from repro.baselines import Swing
+
+        with pytest.raises(RuntimeError):
+            Swing().generate(10)
+
+    def test_registry_entry(self, caida):
+        model = make_baseline("Swing")
+        model.fit(caida)
+        assert len(model.generate(50, seed=0)) == 50

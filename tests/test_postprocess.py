@@ -1,0 +1,130 @@
+"""Tests for post-processing: IPv4 checksums, finalisation, clamps."""
+
+import numpy as np
+import pytest
+
+from repro.core.postprocess import (
+    compute_checksums,
+    enforce_flow_semantics,
+    enforce_packet_semantics,
+    finalize_flow_trace,
+    finalize_packet_trace,
+    ipv4_checksum,
+)
+from repro.datasets import FlowTrace, PacketTrace, ip_to_int, ips_to_ints, load_dataset
+from repro.metrics import consistency_report
+
+
+def reference_checksum(words):
+    """RFC 1071 checksum, straightforward implementation."""
+    total = sum(int(w) for w in words)
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+class TestChecksum:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(0)
+        words = rng.integers(0, 65536, size=(5, 10)).astype(np.uint64)
+        ours = ipv4_checksum(words)
+        for i in range(5):
+            assert ours[i] == reference_checksum(words[i])
+
+    def test_known_vector(self):
+        """Classic example header from RFC 1071 discussions."""
+        words = np.array([[0x4500, 0x0073, 0x0000, 0x4000, 0x4011,
+                           0x0000, 0xC0A8, 0x0001, 0xC0A8, 0x00C7]],
+                         dtype=np.uint64)
+        assert ipv4_checksum(words)[0] == 0xB861
+
+    def test_verification_property(self):
+        """Inserting the checksum makes the header sum to 0xFFFF."""
+        trace = load_dataset("caida", n_records=50, seed=0)
+        sums = compute_checksums(trace)
+        for i in range(5):
+            words = [
+                0x4500,
+                int(trace.packet_size[i]) & 0xFFFF,
+                int(trace.ip_id[i]) & 0xFFFF,
+                0,
+                ((int(trace.ttl[i]) & 0xFF) << 8) | (int(trace.protocol[i]) & 0xFF),
+                int(sums[i]),
+                (int(trace.src_ip[i]) >> 16) & 0xFFFF,
+                int(trace.src_ip[i]) & 0xFFFF,
+                (int(trace.dst_ip[i]) >> 16) & 0xFFFF,
+                int(trace.dst_ip[i]) & 0xFFFF,
+            ]
+            total = sum(words)
+            while total > 0xFFFF:
+                total = (total & 0xFFFF) + (total >> 16)
+            assert total == 0xFFFF
+
+    def test_checksum_depends_on_fields(self):
+        trace = load_dataset("caida", n_records=20, seed=0)
+        base = compute_checksums(trace)
+        trace.ttl = trace.ttl + 1
+        changed = compute_checksums(trace)
+        assert not np.array_equal(base, changed)
+
+
+class TestFinalize:
+    def test_packet_finalize_sorts_and_fills(self):
+        trace = PacketTrace(
+            timestamp=[5.0, 1.0],
+            src_ip=ips_to_ints(["10.0.0.1", "10.0.0.2"]),
+            dst_ip=ips_to_ints(["172.16.0.1", "172.16.0.2"]),
+            src_port=[1, 2], dst_port=[80, 53], protocol=[6, 17],
+            packet_size=[100, 200],
+        )
+        out = finalize_packet_trace(trace, rng=np.random.default_rng(0))
+        assert list(out.timestamp) == [1.0, 5.0]
+        assert np.all(out.checksum > 0)
+        assert len(np.unique(out.ip_id)) >= 1  # ids filled in
+
+    def test_flow_finalize_sorts(self):
+        trace = FlowTrace(
+            src_ip=ips_to_ints(["10.0.0.1"] * 2),
+            dst_ip=ips_to_ints(["172.16.0.1"] * 2),
+            src_port=[1, 2], dst_port=[80, 80], protocol=[6, 6],
+            start_time=[9.0, 3.0], duration=[1.0, 1.0],
+            packets=[1, 1], bytes=[40, 40],
+        )
+        out = finalize_flow_trace(trace)
+        assert list(out.start_time) == [3.0, 9.0]
+
+
+class TestSemanticClamps:
+    def test_flow_clamp_fixes_test2(self):
+        trace = FlowTrace(
+            src_ip=ips_to_ints(["10.0.0.1"] * 2),
+            dst_ip=ips_to_ints(["172.16.0.1"] * 2),
+            src_port=[1, 2], dst_port=[80, 80], protocol=[6, 6],
+            start_time=[0.0, 1.0], duration=[1.0, 1.0],
+            packets=[10, 1], bytes=[10, 99999999],  # both out of envelope
+        )
+        out = enforce_flow_semantics(trace)
+        report = consistency_report(out)
+        assert report["test2"] == 1.0
+
+    def test_packet_clamp_fixes_test4(self):
+        trace = PacketTrace(
+            timestamp=[0.0, 1.0],
+            src_ip=ips_to_ints(["10.0.0.1"] * 2),
+            dst_ip=ips_to_ints(["172.16.0.1"] * 2),
+            src_port=[1, 2], dst_port=[80, 53], protocol=[6, 17],
+            packet_size=[21, 20],  # below TCP/UDP minimums
+        )
+        out = enforce_packet_semantics(trace)
+        report = consistency_report(out)
+        assert report["test4"] == 1.0
+
+    def test_clamps_do_not_mutate_input(self):
+        trace = FlowTrace(
+            src_ip=ips_to_ints(["10.0.0.1"]),
+            dst_ip=ips_to_ints(["172.16.0.1"]),
+            src_port=[1], dst_port=[80], protocol=[6],
+            start_time=[0.0], duration=[1.0], packets=[10], bytes=[10],
+        )
+        enforce_flow_semantics(trace)
+        assert trace.bytes[0] == 10

@@ -1,0 +1,250 @@
+"""Tests for the sketching substrate and heavy-hitter harness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import load_dataset
+from repro.sketches import (
+    SKETCH_FACTORIES,
+    CountMinSketch,
+    CountSketch,
+    NitroSketch,
+    UnivMonSketch,
+    UniversalHash,
+    exact_counts,
+    extract_keys,
+    heavy_hitter_estimation_error,
+    heavy_hitters,
+    mix64,
+    relative_error_between_traces,
+)
+
+
+def zipf_stream(n=20000, n_keys=500, exponent=1.2, seed=0):
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_keys + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    weights /= weights.sum()
+    return rng.choice(np.arange(n_keys, dtype=np.uint64), size=n, p=weights)
+
+
+class TestHashing:
+    def test_mix64_deterministic(self):
+        x = np.array([1, 2, 3], dtype=np.uint64)
+        np.testing.assert_array_equal(mix64(x), mix64(x))
+
+    def test_mix64_decorrelates(self):
+        consecutive = np.arange(1000, dtype=np.uint64)
+        mixed = mix64(consecutive)
+        # Low bit should be ~uniform even for sequential inputs.
+        low_bits = (mixed & np.uint64(1)).astype(float)
+        assert 0.4 < low_bits.mean() < 0.6
+
+    def test_buckets_in_range(self):
+        h = UniversalHash(width=64, depth=3, seed=0)
+        buckets = h.bucket(np.arange(1000, dtype=np.uint64))
+        assert buckets.shape == (3, 1000)
+        assert buckets.min() >= 0 and buckets.max() < 64
+
+    def test_buckets_spread(self):
+        h = UniversalHash(width=64, depth=1, seed=0)
+        buckets = h.bucket(np.arange(10000, dtype=np.uint64))[0]
+        occupancy = np.bincount(buckets, minlength=64)
+        assert occupancy.min() > 0  # every bucket hit with 10k keys
+
+    def test_signs_are_pm_one(self):
+        h = UniversalHash(width=8, depth=2, seed=0)
+        signs = h.sign(np.arange(100, dtype=np.uint64), row=0)
+        assert set(np.unique(signs)) <= {-1.0, 1.0}
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ValueError):
+            UniversalHash(width=0, depth=1, seed=0)
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        stream = zipf_stream()
+        sketch = CountMinSketch(width=512, depth=4, seed=0)
+        sketch.update_many(stream)
+        keys, counts = exact_counts(stream)
+        estimates = sketch.estimate_many(keys)
+        assert np.all(estimates >= counts - 1e-9)
+
+    def test_heavy_keys_accurate(self):
+        stream = zipf_stream()
+        sketch = CountMinSketch(width=2048, depth=4, seed=0)
+        sketch.update_many(stream)
+        keys, counts = heavy_hitters(stream, 0.005)
+        estimates = sketch.estimate_many(keys)
+        rel = np.abs(estimates - counts) / counts
+        assert rel.mean() < 0.05
+
+    def test_single_update(self):
+        sketch = CountMinSketch(width=128, depth=3, seed=0)
+        sketch.update(42, 7.0)
+        assert sketch.estimate(42) >= 7.0
+
+    def test_weighted_updates(self):
+        sketch = CountMinSketch(width=512, depth=4, seed=0)
+        keys = np.array([1, 2], dtype=np.uint64)
+        sketch.update_many(keys, np.array([10.0, 3.0]))
+        assert sketch.estimate(1) >= 10.0
+
+
+class TestCountSketch:
+    def test_roughly_unbiased(self):
+        stream = zipf_stream(seed=1)
+        keys, counts = heavy_hitters(stream, 0.005)
+        errors = []
+        for seed in range(8):
+            sketch = CountSketch(width=1024, depth=5, seed=seed)
+            sketch.update_many(stream)
+            errors.append(sketch.estimate_many(keys) - counts)
+        mean_error = np.mean(errors, axis=0)
+        # Averaged over independent sketches, bias should be small
+        # relative to the counts themselves.
+        assert np.abs(mean_error).mean() < 0.1 * counts.mean()
+
+    def test_heavy_keys_accurate(self):
+        stream = zipf_stream(seed=2)
+        sketch = CountSketch(width=2048, depth=5, seed=0)
+        sketch.update_many(stream)
+        keys, counts = heavy_hitters(stream, 0.005)
+        rel = np.abs(sketch.estimate_many(keys) - counts) / counts
+        assert rel.mean() < 0.1
+
+
+class TestNitroSketch:
+    def test_sampling_preserves_heavy_estimates(self):
+        stream = zipf_stream(seed=3)
+        sketch = NitroSketch(width=2048, depth=5, sample_probability=0.5, seed=0)
+        sketch.update_many(stream)
+        keys, counts = heavy_hitters(stream, 0.01)
+        rel = np.abs(sketch.estimate_many(keys) - counts) / counts
+        assert rel.mean() < 0.25  # sampling adds variance but stays close
+
+    def test_lower_probability_higher_variance(self):
+        stream = zipf_stream(seed=4)
+        keys, counts = heavy_hitters(stream, 0.01)
+
+        def mean_rel(p):
+            errs = []
+            for seed in range(5):
+                s = NitroSketch(width=1024, depth=5, sample_probability=p,
+                                seed=seed)
+                s.update_many(stream)
+                errs.append(np.abs(s.estimate_many(keys) - counts) / counts)
+            return np.mean(errs)
+
+        assert mean_rel(0.05) > mean_rel(1.0)
+
+    def test_bad_probability_raises(self):
+        with pytest.raises(ValueError):
+            NitroSketch(sample_probability=0.0)
+
+
+class TestUnivMon:
+    def test_heavy_keys_accurate(self):
+        stream = zipf_stream(seed=5)
+        sketch = UnivMonSketch(width=512, depth=5, levels=4, seed=0)
+        sketch.update_many(stream)
+        keys, counts = heavy_hitters(stream, 0.01)
+        rel = np.abs(sketch.estimate_many(keys) - counts) / counts
+        assert rel.mean() < 0.2
+
+    def test_gsum_l1_close_to_stream_length(self):
+        stream = zipf_stream(n=20000, seed=6)
+        sketch = UnivMonSketch(width=1024, depth=5, levels=3, seed=0)
+        sketch.update_many(stream)
+        candidates, _ = heavy_hitters(stream, 0.002)
+        l1 = sketch.gsum(candidates, g=np.abs)
+        # G-sum over heavy candidates approximates the heavy mass of L1.
+        heavy_mass = heavy_hitters(stream, 0.002)[1].sum()
+        assert l1 > 0.3 * heavy_mass
+
+    def test_bad_levels_raise(self):
+        with pytest.raises(ValueError):
+            UnivMonSketch(levels=0)
+
+    def test_memory_counters_sum_levels(self):
+        sketch = UnivMonSketch(width=64, depth=2, levels=3)
+        assert sketch.memory_counters == 3 * 64 * 2
+
+
+class TestMemoryParity:
+    def test_fig13_sketches_similar_memory(self):
+        """The paper gives all four sketches roughly the same memory."""
+        sizes = {
+            name: factory(0).memory_counters
+            for name, factory in SKETCH_FACTORIES.items()
+        }
+        low, high = min(sizes.values()), max(sizes.values())
+        assert high <= 1.3 * low
+
+
+class TestHeavyHitterHarness:
+    def test_exact_counts(self):
+        keys, counts = exact_counts(np.array([5, 5, 9], dtype=np.uint64))
+        assert dict(zip(keys.tolist(), counts.tolist())) == {5: 2, 9: 1}
+
+    def test_heavy_hitters_threshold(self):
+        stream = np.array([1] * 98 + [2] * 2, dtype=np.uint64)
+        keys, _ = heavy_hitters(stream, 0.5)
+        assert keys.tolist() == [1]
+
+    def test_bad_threshold_raises(self):
+        with pytest.raises(ValueError):
+            heavy_hitters(np.array([1], dtype=np.uint64), 0.0)
+
+    def test_no_heavy_hitters_raises(self):
+        uniform = np.arange(10000, dtype=np.uint64)
+        with pytest.raises(ValueError):
+            heavy_hitter_estimation_error(CountMinSketch(), uniform, 0.001)
+
+    def test_extract_keys_modes(self):
+        trace = load_dataset("caida", n_records=500, seed=0)
+        for mode in ("dst_ip", "src_ip", "five_tuple"):
+            keys = extract_keys(trace, mode)
+            assert len(keys) == len(trace)
+            assert keys.dtype == np.uint64
+
+    def test_extract_keys_bad_mode(self):
+        trace = load_dataset("caida", n_records=100, seed=0)
+        with pytest.raises(ValueError):
+            extract_keys(trace, "dst_port")
+
+    def test_five_tuple_keys_distinguish_flows(self):
+        trace = load_dataset("caida", n_records=1000, seed=0)
+        keys = extract_keys(trace, "five_tuple")
+        n_flows = len(trace.group_by_five_tuple())
+        assert len(np.unique(keys)) == n_flows
+
+    def test_identical_traces_zero_relative_error(self):
+        trace = load_dataset("caida", n_records=2000, seed=0)
+        keys = extract_keys(trace, "dst_ip")
+        err = relative_error_between_traces("CMS", keys, keys, 0.005, n_runs=2)
+        assert err == pytest.approx(0.0, abs=1e-9)
+
+    def test_different_traces_nonzero_relative_error(self):
+        real = extract_keys(load_dataset("caida", n_records=2000, seed=0), "dst_ip")
+        other = extract_keys(load_dataset("dc", n_records=2000, seed=1), "src_ip")
+        # Shrink sketch memory so the 2k-record stream actually collides.
+        err = relative_error_between_traces(
+            "CS", real, other, 0.005, n_runs=2, scale=0.02
+        )
+        assert err > 0.0
+
+    def test_scale_shrinks_memory(self):
+        big = SKETCH_FACTORIES["CMS"](0, 1.0).memory_counters
+        small = SKETCH_FACTORIES["CMS"](0, 0.1).memory_counters
+        assert small < big
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 100))
+    def test_cms_point_query_lower_bound(self, key, count):
+        sketch = CountMinSketch(width=64, depth=3, seed=1)
+        sketch.update(key, float(count))
+        assert sketch.estimate(key) >= count

@@ -1,0 +1,227 @@
+"""Tests for the downstream-task harnesses (prediction / telemetry /
+anomaly detection)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.tasks import (
+    DATASET_HH_MODE,
+    classifier_accuracy,
+    run_anomaly_task,
+    run_prediction_task,
+    run_telemetry_task,
+)
+
+FAST_CLASSIFIERS = {
+    "DT": lambda: __import__("repro.ml", fromlist=["DecisionTreeClassifier"]
+                             ).DecisionTreeClassifier(max_depth=5),
+    "LR": lambda: __import__("repro.ml", fromlist=["LogisticRegression"]
+                             ).LogisticRegression(n_iter=80),
+}
+
+
+@pytest.fixture(scope="module")
+def ton():
+    return load_dataset("ton", n_records=1200, seed=0)
+
+
+@pytest.fixture(scope="module")
+def ton_other_seed():
+    return load_dataset("ton", n_records=1200, seed=5)
+
+
+@pytest.fixture(scope="module")
+def caida():
+    return load_dataset("caida", n_records=1500, seed=0)
+
+
+class TestPredictionTask:
+    def test_real_accuracy_beats_chance(self, ton):
+        result = run_prediction_task(ton, {}, classifiers=FAST_CLASSIFIERS)
+        majority = max(np.bincount(ton.attack_type)) / len(ton)
+        assert result.real_accuracy["DT"] > majority
+
+    def test_good_synthetic_scores_close_to_real(self, ton, ton_other_seed):
+        """Same-distribution 'synthetic' data should transfer well."""
+        result = run_prediction_task(
+            ton, {"oracle": ton_other_seed}, classifiers=FAST_CLASSIFIERS)
+        for name, real_acc in result.real_accuracy.items():
+            syn_acc = result.synthetic_accuracy["oracle"][name]
+            assert syn_acc > 0.6 * real_acc
+
+    def test_rank_correlation_in_range(self, ton, ton_other_seed):
+        result = run_prediction_task(
+            ton, {"oracle": ton_other_seed}, classifiers=FAST_CLASSIFIERS)
+        rho = result.rank_correlation["oracle"]
+        assert -1.0 <= rho <= 1.0
+
+    def test_degenerate_single_class_synthetic(self, ton):
+        constant = ton.subset(ton.attack_type == 0)
+        result = run_prediction_task(
+            ton, {"flat": constant}, classifiers=FAST_CLASSIFIERS)
+        for acc in result.synthetic_accuracy["flat"].values():
+            assert 0.0 <= acc <= 1.0
+
+    def test_rejects_pcap(self, caida):
+        with pytest.raises(TypeError):
+            run_prediction_task(caida, {})
+
+    def test_table_renders(self, ton, ton_other_seed):
+        result = run_prediction_task(
+            ton, {"oracle": ton_other_seed}, classifiers=FAST_CLASSIFIERS)
+        text = result.table()
+        assert "Real" in text and "oracle" in text
+
+    def test_classifier_accuracy_helper(self, ton):
+        from repro.ml import DecisionTreeClassifier
+
+        acc = classifier_accuracy(
+            lambda: DecisionTreeClassifier(max_depth=4), ton, ton)
+        assert 0.5 <= acc <= 1.0
+
+
+class TestTelemetryTask:
+    def test_oracle_has_small_relative_error(self, caida):
+        other = load_dataset("caida", n_records=1500, seed=4)
+        result = run_telemetry_task(
+            caida, {"oracle": other}, mode="dst_ip",
+            threshold=0.005, n_runs=2, scale=0.05)
+        for value in result.relative_error["oracle"].values():
+            assert value is not None
+
+    def test_missing_baseline_detected(self, caida):
+        """A synthetic trace with uniform keys has no heavy hitters."""
+        from repro.datasets import PacketTrace
+
+        n = 1200
+        uniform = PacketTrace(
+            timestamp=np.arange(n, dtype=float),
+            src_ip=np.arange(n, dtype=np.uint32),
+            dst_ip=np.arange(n, dtype=np.uint32) + 2**20,
+            src_port=np.full(n, 1000), dst_port=np.full(n, 80),
+            protocol=np.full(n, 6), packet_size=np.full(n, 100),
+        )
+        result = run_telemetry_task(
+            caida, {"flat": uniform}, mode="dst_ip",
+            threshold=0.005, n_runs=1, scale=0.05)
+        assert all(v is None for v in result.relative_error["flat"].values())
+        assert result.rank_correlation["flat"] is None
+
+    def test_all_four_sketches_present(self, caida):
+        result = run_telemetry_task(
+            caida, {}, mode="dst_ip", threshold=0.005, n_runs=1, scale=0.05)
+        assert set(result.real_error) == {"CMS", "CS", "UnivMon",
+                                          "NitroSketch"}
+
+    def test_no_heavy_hitters_in_real_raises(self):
+        from repro.datasets import PacketTrace
+
+        n = 3000
+        uniform = PacketTrace(
+            timestamp=np.arange(n, dtype=float),
+            src_ip=np.arange(n, dtype=np.uint32),
+            dst_ip=np.arange(n, dtype=np.uint32),
+            src_port=np.full(n, 1000), dst_port=np.full(n, 80),
+            protocol=np.full(n, 6), packet_size=np.full(n, 100),
+        )
+        with pytest.raises(ValueError):
+            run_telemetry_task(uniform, {}, mode="dst_ip", threshold=0.001)
+
+    def test_hh_modes_map(self):
+        assert DATASET_HH_MODE == {
+            "caida": "dst_ip", "dc": "src_ip", "ca": "five_tuple"}
+
+    def test_table_renders(self, caida):
+        other = load_dataset("caida", n_records=1500, seed=4)
+        result = run_telemetry_task(
+            caida, {"oracle": other}, mode="dst_ip",
+            threshold=0.005, n_runs=1, scale=0.05)
+        assert "oracle" in result.table()
+
+
+class TestAnomalyTask:
+    @pytest.fixture(scope="class")
+    def small_caida(self):
+        return load_dataset("caida", n_records=700, seed=0)
+
+    def test_oracle_small_errors(self, small_caida):
+        other = load_dataset("caida", n_records=700, seed=3)
+        result = run_anomaly_task(
+            small_caida, {"oracle": other},
+            modes=["STATS", "SIZE"], n_runs=1)
+        errors = result.relative_error["oracle"]
+        assert errors is not None
+        assert all(np.isfinite(v) for v in errors.values())
+
+    def test_single_packet_model_is_missing(self, small_caida):
+        """Baselines without multi-packet flows drop out (Fig 14)."""
+        from repro.datasets import PacketTrace
+
+        n = 500
+        singles = PacketTrace(
+            timestamp=np.arange(n, dtype=float),
+            src_ip=np.arange(n, dtype=np.uint32),
+            dst_ip=np.arange(n, dtype=np.uint32) + 7,
+            src_port=np.arange(n) % 60000, dst_port=np.full(n, 80),
+            protocol=np.full(n, 6), packet_size=np.full(n, 100),
+        )
+        result = run_anomaly_task(
+            small_caida, {"singles": singles}, modes=["STATS"], n_runs=1)
+        assert result.relative_error["singles"] is None
+        assert result.rank_correlation["singles"] is None
+
+    def test_real_ratios_cover_modes(self, small_caida):
+        result = run_anomaly_task(small_caida, {}, modes=["IAT", "SIZE"],
+                                  n_runs=1)
+        assert set(result.real_ratios) == {"IAT", "SIZE"}
+
+    def test_table_renders(self, small_caida):
+        other = load_dataset("caida", n_records=700, seed=3)
+        result = run_anomaly_task(
+            small_caida, {"oracle": other}, modes=["STATS", "SIZE"], n_runs=1)
+        assert "oracle" in result.table()
+
+
+class TestCardinalityTask:
+    @pytest.fixture(scope="class")
+    def real(self):
+        return load_dataset("cidds", n_records=800, seed=0)
+
+    def test_self_comparison_near_zero(self, real):
+        from repro.tasks import run_cardinality_task
+
+        report = run_cardinality_task(real, real)
+        assert report.superspreader_emd == pytest.approx(0.0)
+        assert report.scanner_emd == pytest.approx(0.0)
+        for field, (r, s) in report.global_counts.items():
+            assert r == pytest.approx(s)
+
+    def test_global_counts_accurate(self, real):
+        from repro.tasks import run_cardinality_task
+
+        report = run_cardinality_task(real, real)
+        true_srcs = len(np.unique(real.src_ip))
+        estimate = report.global_counts["src_ip"][0]
+        assert abs(estimate - true_srcs) / true_srcs < 0.15
+
+    def test_scanner_tail_detected(self, real):
+        """CIDDS has port scans: the per-source port fanout tail must be
+        heavy in the real data."""
+        from repro.tasks import per_source_fanout
+
+        fanout = per_source_fanout(real, "dst_port")
+        assert fanout.max() > 10 * np.median(fanout)
+
+    def test_fanout_bad_target_raises(self, real):
+        from repro.tasks import per_source_fanout
+
+        with pytest.raises(ValueError):
+            per_source_fanout(real, "protocol")
+
+    def test_summary_renders(self, real):
+        from repro.tasks import run_cardinality_task
+
+        other = load_dataset("cidds", n_records=800, seed=9)
+        text = run_cardinality_task(real, other).summary()
+        assert "superspreader" in text and "distinct" in text
