@@ -61,12 +61,20 @@ _FACTORIES: Dict[str, Callable[..., Synthesizer]] = {
 }
 
 
-def make_baseline(name: str, epochs: int = 30, seed: int = 0) -> Synthesizer:
-    """Build a baseline by its paper name."""
+def make_baseline(name: str, epochs: int = 30, seed: int = 0,
+                  jobs: Optional[int] = None) -> Synthesizer:
+    """Build a baseline by its paper name.
+
+    ``jobs`` selects the repro.runtime executor backend for baselines
+    with parallelisable training (ignored by the rest).
+    """
     try:
         factory = _FACTORIES[name]
     except KeyError:
         raise KeyError(
             f"unknown baseline {name!r}; available: {sorted(_FACTORIES)}"
         ) from None
-    return factory(epochs=epochs, seed=seed)
+    model = factory(epochs=epochs, seed=seed)
+    if jobs is not None:
+        model.jobs = jobs
+    return model

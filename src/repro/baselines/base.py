@@ -23,6 +23,16 @@ class Synthesizer(ABC):
     name: str = "base"
     #: Which trace kinds the model supports, as in §6.1's baseline list.
     supports = ("netflow", "pcap")
+    #: Worker count for the repro.runtime executor (None = REPRO_JOBS
+    #: env var, then serial).  Baselines with parallelisable training
+    #: (e.g. the epoch-parallel E-WGAN-GP) dispatch through this so
+    #: scalability comparisons with NetShare share infrastructure.
+    jobs: Optional[int] = None
+
+    def _executor(self):
+        from ..runtime import get_executor
+
+        return get_executor(self.jobs)
 
     def _check_support(self, trace) -> str:
         kind = "netflow" if isinstance(trace, FlowTrace) else (

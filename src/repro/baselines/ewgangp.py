@@ -17,12 +17,13 @@ Faithfully-preserved limitations:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..core.ip2vec import IP2Vec, token
 from ..datasets.records import FlowTrace
+from ..runtime.chunk_tasks import RowGanTask, train_rowgan
 from .base import Synthesizer
 from .rowgan import ColumnSpec, RowGan, RowGanConfig
 
@@ -43,14 +44,25 @@ class EWganGp(Synthesizer):
     _FIELDS = ("sa", "da", "sp", "dp", "pr", "ts", "td", "pkt", "byt")
 
     def __init__(self, epochs: int = 30, embedding_dim: int = 8,
-                 seed: int = 0, config: Optional[RowGanConfig] = None):
+                 seed: int = 0, config: Optional[RowGanConfig] = None,
+                 epoch_models: int = 1, jobs: Optional[int] = None):
+        """``epoch_models > 1`` trains one WGAN per measurement epoch
+        (time slice), as the original per-epoch baselines do — an
+        embarrassingly parallel workload dispatched through the
+        repro.runtime executor (``jobs`` workers)."""
+        if epoch_models < 1:
+            raise ValueError("need at least one epoch model")
         self.epochs = epochs
         self.embedding_dim = embedding_dim
         self.seed = seed
         self.config = config or RowGanConfig()
+        self.epoch_models = int(epoch_models)
+        self.jobs = jobs
         self._gan: Optional[RowGan] = None
+        self._gans: List[Tuple[RowGan, int]] = []   # (model, rows trained on)
         self._ip2vec: Optional[IP2Vec] = None
         self._ts_scale = None
+        self.train_seconds = 0.0
 
     # ------------------------------------------------------------------
     def _sentences(self, trace: FlowTrace) -> List[List[str]]:
@@ -91,9 +103,40 @@ class EWganGp(Synthesizer):
             ColumnSpec(field, self.embedding_dim, "free")
             for field in self._FIELDS
         ]
-        self._gan = RowGan(columns, self.config, seed=self.seed)
-        self._gan.fit(rows, epochs=self.epochs)
+        # One model per measurement epoch (time slice); each epoch is a
+        # stateless RowGanTask so the executor can fan them out.  Each
+        # task's seed is derived from the epoch index, never from
+        # scheduling order, so results are backend-independent.
+        buckets = self._epoch_buckets(trace.start_time)
+        tasks = [
+            RowGanTask(index=b, columns=columns, config=self.config,
+                       seed=self.seed + b, rows=rows[idx],
+                       epochs=self.epochs)
+            for b, idx in enumerate(buckets)
+        ]
+        results = self._executor().map_tasks(train_rowgan, tasks)
+        self._gans = []
+        self.train_seconds = 0.0
+        for task, result in zip(tasks, results):
+            gan = RowGan(columns, self.config, seed=self.seed + task.index)
+            gan.load_state_dict(result.state)
+            gan.train_seconds = result.train_seconds
+            self._gans.append((gan, len(task.rows)))
+            self.train_seconds += result.train_seconds
+        self._gan = self._gans[0][0]
         return self
+
+    def _epoch_buckets(self, start_time: np.ndarray) -> List[np.ndarray]:
+        """Row indices per time-epoch; empty epochs are dropped."""
+        if self.epoch_models == 1:
+            return [np.arange(len(start_time))]
+        lo, hi = float(start_time.min()), float(start_time.max())
+        edges = np.linspace(lo, hi, self.epoch_models + 1)
+        assignment = np.clip(
+            np.searchsorted(edges, start_time, side="right") - 1,
+            0, self.epoch_models - 1)
+        return [idx for b in range(self.epoch_models)
+                if len(idx := np.nonzero(assignment == b)[0])]
 
     # ------------------------------------------------------------------
     def _decode_numeric(self, vectors: np.ndarray, kind: str) -> np.ndarray:
@@ -101,10 +144,29 @@ class EWganGp(Synthesizer):
         buckets = np.array([int(w.split(":", 1)[1]) for w in words])
         return np.exp2(buckets / 2.0) - 1.0
 
+    def _sample_raw(self, n_records: int, seed: Optional[int]) -> np.ndarray:
+        """Draw raw rows, split across the per-epoch models by their
+        training-row shares (single-model path is unchanged)."""
+        if len(self._gans) == 1:
+            return self._gan.generate(n_records, seed)
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        weights = np.array([count for _, count in self._gans], dtype=float)
+        counts = np.floor(n_records * weights / weights.sum()).astype(int)
+        # Largest-remainder top-up so the counts sum exactly.
+        for i in np.argsort(-(n_records * weights / weights.sum() - counts)):
+            if counts.sum() >= n_records:
+                break
+            counts[i] += 1
+        blocks = [
+            gan.generate(int(k), seed=int(rng.integers(0, 2**31)))
+            for (gan, _), k in zip(self._gans, counts) if k > 0
+        ]
+        return np.vstack(blocks)
+
     def generate(self, n_records: int, seed: Optional[int] = None):
         if self._gan is None:
             raise RuntimeError("E-WGAN-GP is not fitted; call fit() first")
-        raw = self._gan.generate(n_records, seed)
+        raw = self._sample_raw(n_records, seed)
         raw = self._lo + raw * self._span
         blocks = self._gan.split_columns(raw)
         ip2v = self._ip2vec

@@ -128,6 +128,28 @@ class RowGan:
         self.train_seconds = 0.0
 
     # ------------------------------------------------------------------
+    def _named_modules(self):
+        return (("generator", self.generator),
+                ("discriminator", self.discriminator))
+
+    def state_dict(self) -> dict:
+        """All parameters as numpy arrays (picklable, npz-friendly)."""
+        state = {}
+        for prefix, module in self._named_modules():
+            for name, p in module.named_parameters():
+                state[f"{prefix}.{name}"] = p.data.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> "RowGan":
+        for prefix, module in self._named_modules():
+            module.load_state_dict({
+                name[len(prefix) + 1:]: value
+                for name, value in state.items()
+                if name.startswith(prefix + ".")
+            })
+        return self
+
+    # ------------------------------------------------------------------
     def _fake_rows(self, n: int, condition: Optional[np.ndarray] = None):
         z = tensor(self._rng.normal(size=(n, self.config.noise_dim)))
         cond = tensor(condition) if condition is not None else None

@@ -4,7 +4,11 @@ Subcommands:
 
 * ``dataset``   — generate one of the six evaluation workloads to CSV;
 * ``synthesize``— train NetShare (or a baseline) on a trace CSV and
-  write a synthetic trace CSV;
+  write a synthetic trace CSV; ``--jobs N`` fans chunk training out
+  across the repro.runtime multiprocessing backend and
+  ``--save-model`` persists the trained NetShare model to ``.npz``;
+* ``generate``  — sample from a saved NetShare ``.npz`` model without
+  retraining;
 * ``evaluate``  — per-field JSD/EMD fidelity report between two CSVs;
 * ``consistency`` — Appendix-B protocol-compliance checks on a CSV;
 * ``anonymize`` — prefix-preserving or truncation IP anonymization.
@@ -72,6 +76,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunks", type=int, default=3)
     p.add_argument("--epochs", type=int, default=30)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="parallel training workers (default: REPRO_JOBS "
+                        "env var, then serial; 0 = one per CPU)")
+    p.add_argument("--save-model", default=None, metavar="PATH",
+                   help="persist the trained NetShare model to a .npz "
+                        "archive (NetShare only)")
+
+    p = sub.add_parser("generate",
+                       help="sample from a saved NetShare model (.npz)")
+    p.add_argument("model", help="model archive written by --save-model")
+    p.add_argument("output", help="synthetic trace CSV")
+    p.add_argument("--records", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=1)
 
     p = sub.add_parser("evaluate", help="fidelity report real vs synthetic")
     p.add_argument("real", help="real trace CSV")
@@ -115,14 +132,34 @@ def _cmd_synthesize(args) -> int:
         model = NetShare(NetShareConfig(
             n_chunks=args.chunks, epochs_seed=args.epochs,
             epochs_fine_tune=max(3, args.epochs // 3), seed=args.seed,
+            jobs=args.jobs,
         ))
     else:
-        model = make_baseline(args.model, epochs=args.epochs, seed=args.seed)
+        if args.save_model:
+            print("--save-model only supports the NetShare model")
+            return 2
+        model = make_baseline(args.model, epochs=args.epochs,
+                              seed=args.seed, jobs=args.jobs)
     print(f"training {args.model} on {len(trace)} records...")
     model.fit(trace)
+    if isinstance(model, NetShare):
+        print(f"  backend={model.backend} "
+              f"wall={model.wall_seconds:.1f}s cpu={model.cpu_seconds:.1f}s")
+        if args.save_model:
+            model.save(args.save_model)
+            print(f"saved model to {args.save_model}")
     synthetic = model.generate(n_out, seed=args.seed + 1)
     _write_trace(synthetic, args.output, args.kind)
     print(f"wrote {len(synthetic)} synthetic records to {args.output}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    model = NetShare.load(args.model)
+    synthetic = model.generate(args.records, seed=args.seed)
+    _write_trace(synthetic, args.output, model.kind)
+    print(f"wrote {len(synthetic)} synthetic {model.kind} records "
+          f"to {args.output}")
     return 0
 
 
@@ -160,6 +197,7 @@ def _cmd_anonymize(args) -> int:
 _COMMANDS = {
     "dataset": _cmd_dataset,
     "synthesize": _cmd_synthesize,
+    "generate": _cmd_generate,
     "evaluate": _cmd_evaluate,
     "consistency": _cmd_consistency,
     "export-pcap": _cmd_export_pcap,

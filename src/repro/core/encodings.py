@@ -102,6 +102,14 @@ class MinMaxEncoder:
         self.high = float(values.max())
         return self
 
+    def state_dict(self) -> dict:
+        return {"low": self.low, "high": self.high}
+
+    def load_state_dict(self, state: dict) -> "MinMaxEncoder":
+        self.low = None if state["low"] is None else float(state["low"])
+        self.high = None if state["high"] is None else float(state["high"])
+        return self
+
     def _check(self):
         if self.low is None:
             raise RuntimeError("encoder is not fitted; call fit() first")
@@ -136,6 +144,13 @@ class LogMinMaxEncoder:
         if np.any(values < 0):
             raise ValueError("log transform requires non-negative values")
         self._inner.fit(np.log1p(values))
+        return self
+
+    def state_dict(self) -> dict:
+        return self._inner.state_dict()
+
+    def load_state_dict(self, state: dict) -> "LogMinMaxEncoder":
+        self._inner.load_state_dict(state)
         return self
 
     def encode(self, values: np.ndarray) -> np.ndarray:
@@ -193,6 +208,23 @@ class QuantileEncoder:
         self._values = transformed
         self._grid = (np.arange(len(transformed)) /
                       max(len(transformed) - 1, 1))
+        return self
+
+    def state_dict(self) -> dict:
+        state = {"log_space": self.log_space, "max_points": self.max_points}
+        if self._values is not None:
+            state["grid"] = self._grid.copy()
+            state["values"] = self._values.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> "QuantileEncoder":
+        self.log_space = bool(state["log_space"])
+        self.max_points = int(state["max_points"])
+        if "values" in state:
+            self._grid = np.asarray(state["grid"], dtype=np.float64)
+            self._values = np.asarray(state["values"], dtype=np.float64)
+        else:
+            self._grid = self._values = None
         return self
 
     def _check(self):

@@ -208,6 +208,56 @@ class FlowTensorEncoder:
             raise RuntimeError("encoder is not fitted; call fit() first")
 
     # ------------------------------------------------------------------
+    def _field_encoders(self):
+        """Named sub-encoders that carry fitted state."""
+        if self.kind == "netflow":
+            return {"duration": self._duration, "packets": self._packets,
+                    "bytes": self._bytes}
+        return {"size": self._size, "ttl": self._ttl,
+                "flow_size": self._flow_size}
+
+    def state_dict(self) -> dict:
+        """Full fitted state (construction args + per-field scalers)."""
+        state = {
+            "kind": self.kind,
+            "max_timesteps": self.max_timesteps,
+            "ip_encoding": self.ip_encoding,
+            "port_encoding": self.port_encoding,
+            "n_chunks": self.n_chunks,
+            "numeric_encoding": self.numeric_encoding,
+            "fitted": self._fitted,
+            "fields": {name: enc.state_dict()
+                       for name, enc in self._field_encoders().items()},
+        }
+        if self.port_encoding == "ip2vec":
+            state["ip2vec"] = self.ip2vec.state_dict()
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FlowTensorEncoder":
+        """Rebuild a fitted encoder from :meth:`state_dict` output.
+
+        The IP2Vec embedding scaling (``_emb_lo``/``_emb_span``) is
+        recomputed by the constructor from the restored dictionary
+        vectors, which round-trip bit-exactly through the state dict.
+        """
+        ip2vec = (IP2Vec.from_state(state["ip2vec"])
+                  if "ip2vec" in state else None)
+        encoder = cls(
+            str(state["kind"]),
+            max_timesteps=int(state["max_timesteps"]),
+            ip_encoding=str(state["ip_encoding"]),
+            port_encoding=str(state["port_encoding"]),
+            ip2vec=ip2vec,
+            n_chunks=int(state["n_chunks"]),
+            numeric_encoding=str(state["numeric_encoding"]),
+        )
+        for name, enc in encoder._field_encoders().items():
+            enc.load_state_dict(state["fields"][name])
+        encoder._fitted = bool(state["fitted"])
+        return encoder
+
+    # ------------------------------------------------------------------
     def _encode_ports_protocol(self, flows: Sequence[FlowSeries]) -> np.ndarray:
         sp = np.array([f.key[2] for f in flows])
         dp = np.array([f.key[3] for f in flows])

@@ -129,6 +129,36 @@ class IP2Vec:
         self.vectors[center] -= self.lr * grad_center
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Fitted state as arrays + JSON-able values (for .npz saves)."""
+        self._check_fitted()
+        return {
+            "dim": self.dim,
+            "negative": self.negative,
+            "epochs": self.epochs,
+            "lr": self.lr,
+            "seed": self.seed,
+            "vocab": list(self.inverse_vocab),   # words in index order
+            "vectors": self.vectors.copy(),
+            "context": self._context.copy(),
+            "counts": self.counts.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "IP2Vec":
+        """Rebuild a fitted IP2Vec from :meth:`state_dict` output."""
+        model = cls(dim=int(state["dim"]), negative=int(state["negative"]),
+                    epochs=int(state["epochs"]), lr=float(state["lr"]),
+                    seed=int(state["seed"]))
+        words = [str(w) for w in state["vocab"]]
+        model.vocab = {word: i for i, word in enumerate(words)}
+        model.inverse_vocab = words
+        model.vectors = np.asarray(state["vectors"], dtype=np.float64)
+        model._context = np.asarray(state["context"], dtype=np.float64)
+        model.counts = np.asarray(state["counts"], dtype=np.int64)
+        return model
+
+    # ------------------------------------------------------------------
     def _check_fitted(self):
         if self.vectors is None:
             raise RuntimeError("IP2Vec is not fitted; call fit() first")

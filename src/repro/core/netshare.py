@@ -10,7 +10,12 @@ Pipeline, combining the paper's four insights:
    then fine-tune per-chunk copies from the seed model — enabling
    parallel training while preserving cross-chunk correlations via the
    tags.  With DP enabled, pre-train on a public trace and fine-tune
-   on private data with DP-SGD.
+   on private data with DP-SGD.  Chunk training runs on the
+   :mod:`repro.runtime` executor layer: the seed chunk trains first,
+   the remaining chunks fan out as stateless tasks across the
+   configured backend (``config.jobs`` / ``REPRO_JOBS``), and results
+   are bit-identical across backends because every task derives its
+   RNG from ``config.seed + chunk_index``.
 3. **Post-processing**: decode embeddings (nearest neighbour),
    generate derived fields (checksums), and merge records by raw
    timestamp / flow start time.
@@ -19,16 +24,19 @@ Pipeline, combining the paper's four insights:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..datasets.records import FlowTrace, PacketTrace
 from ..datasets.profiles import load_dataset
-from ..gan.doppelganger import DgConfig, DoppelGANger
+from ..gan.doppelganger import DgConfig, DoppelGANger, TrainingLog
 from ..privacy.accountant import RdpAccountant
 from ..privacy.dpsgd import DpSgdConfig
+from ..runtime import get_executor
+from ..runtime.chunk_tasks import ChunkResult, ChunkTask, train_chunk
+from ..runtime.serialization import load_state_npz, save_state_npz
 from .flow_encoder import FlowTensorEncoder
 from .ip2vec import IP2Vec, five_tuple_sentences
 from .preprocess import chunk_flows, split_into_flows, time_range
@@ -61,6 +69,9 @@ class NetShareConfig:
     noise_dim: int = 12
     rnn_hidden: int = 48
     seed: int = 0
+    # Training parallelism: worker count for the repro.runtime executor
+    # (None = REPRO_JOBS env var, then 1 = serial; 0 = one per CPU).
+    jobs: Optional[int] = None
     # Differential privacy (Insight 4); None disables DP.
     dp: Optional[DpSgdConfig] = None
     dp_public_dataset: Optional[str] = None
@@ -76,6 +87,7 @@ class NetShareConfig:
 
 @dataclass
 class _TrainedChunk:
+    index: int                    # position in the M-chunk time grid
     model: DoppelGANger
     window: Tuple[float, float]
     n_flows: int
@@ -90,9 +102,15 @@ class NetShare:
         self._encoder: Optional[FlowTensorEncoder] = None
         self._chunks: List[_TrainedChunk] = []
         self._kind: Optional[str] = None
-        self.cpu_seconds: float = 0.0       # summed per-chunk training time
-        self.wall_seconds: float = 0.0      # parallel wall-clock model
+        self.cpu_seconds: float = 0.0       # summed per-task training time
+        self.wall_seconds: float = 0.0      # measured training wall-clock
+        self.backend: Optional[str] = None  # executor backend used by fit
         self.spent_epsilon: Optional[float] = None
+
+    @property
+    def kind(self) -> Optional[str]:
+        """'netflow' or 'pcap' once fitted (or loaded), else None."""
+        return self._kind
 
     # ------------------------------------------------------------------
     def _build_ip2vec(self) -> Optional[IP2Vec]:
@@ -139,7 +157,16 @@ class NetShare:
 
     # ------------------------------------------------------------------
     def fit(self, trace) -> "NetShare":
-        """Train on a FlowTrace or PacketTrace."""
+        """Train on a FlowTrace or PacketTrace.
+
+        Chunk training is dispatched through the :mod:`repro.runtime`
+        executor (Insight 3's parallelism made real): the seed chunk
+        trains first in-process, then the remaining chunks fan out as
+        :class:`ChunkTask` work items.  ``wall_seconds`` is the
+        *measured* wall-clock of the training phase; ``cpu_seconds``
+        is the per-task training-time sum, so with ``jobs > 1`` on a
+        multi-core machine wall < cpu.
+        """
         if not isinstance(trace, (FlowTrace, PacketTrace)):
             raise TypeError("NetShare fits on FlowTrace or PacketTrace")
         if len(trace) == 0:
@@ -155,45 +182,67 @@ class NetShare:
         if cfg.dp is not None and cfg.dp_public_dataset is not None:
             pretrained_state = self._pretrain_public()
 
+        occupied = [
+            (c, flows, window)
+            for c, (flows, window) in enumerate(zip(chunk_lists, windows))
+            if flows
+        ]
+        if not occupied:
+            raise ValueError("no non-empty chunks to train on")
+        gan_config = self._gan_config(self._encoder)
+        encoded = {c: self._encoder.encode_chunk(flows, window)
+                   for c, flows, window in occupied}
+
+        def make_task(c: int, epochs: int, mode: str,
+                      init_state=None) -> ChunkTask:
+            return ChunkTask(
+                chunk_index=c, encoded=encoded[c], gan_config=gan_config,
+                seed=cfg.seed + c, epochs=epochs, mode=mode,
+                init_state=init_state, dp_config=cfg.dp,
+            )
+
+        executor = get_executor(cfg.jobs)
+        self.backend = executor.name
+        results: Dict[int, ChunkResult] = {}
+        wall_start = time.perf_counter()
+        if cfg.dp is not None:
+            # Every chunk fine-tunes (or trains) independently with
+            # DP-SGD, optionally warm-started from the public model.
+            epochs = (cfg.epochs_fine_tune if pretrained_state is not None
+                      else cfg.epochs_seed)
+            tasks = [make_task(c, epochs, "fit_dp", pretrained_state)
+                     for c, _, _ in occupied]
+            batch = executor.map_tasks(train_chunk, tasks)
+        elif cfg.fine_tune_chunks and len(occupied) > 1:
+            # Insight 3: the seed chunk trains first; every other chunk
+            # warm-starts from it and fans out across the backend.
+            seed_index = occupied[0][0]
+            seed_result = train_chunk(
+                make_task(seed_index, cfg.epochs_seed, "fit"))
+            tasks = [make_task(c, cfg.epochs_fine_tune, "fine_tune",
+                               seed_result.state)
+                     for c, _, _ in occupied[1:]]
+            batch = [seed_result] + executor.map_tasks(train_chunk, tasks)
+        else:
+            # No warm start: chunks are fully independent tasks.
+            tasks = [make_task(c, cfg.epochs_seed, "fit")
+                     for c, _, _ in occupied]
+            batch = executor.map_tasks(train_chunk, tasks)
+        self.wall_seconds = time.perf_counter() - wall_start
+        for result in batch:
+            results[result.chunk_index] = result
+
         self._chunks = []
-        seed_state = None
-        chunk_times = []
-        for c, (flows, window) in enumerate(zip(chunk_lists, windows)):
-            if not flows:
-                continue
-            encoded = self._encoder.encode_chunk(flows, window)
-            model = DoppelGANger(self._gan_config(self._encoder),
-                                 seed=cfg.seed + c)
-            start = time.perf_counter()
-            if cfg.dp is not None:
-                if pretrained_state is not None:
-                    model.load_state_dict(pretrained_state)
-                    model.fit_dp(encoded, epochs=cfg.epochs_fine_tune,
-                                 dp_config=cfg.dp, seed=cfg.seed + c)
-                else:
-                    model.fit_dp(encoded, epochs=cfg.epochs_seed,
-                                 dp_config=cfg.dp, seed=cfg.seed + c)
-            elif seed_state is None or not cfg.fine_tune_chunks:
-                model.fit(encoded, epochs=cfg.epochs_seed)
-                if seed_state is None:
-                    seed_state = model.state_dict()
-            else:
-                model.load_state_dict(seed_state)
-                model.fine_tune(encoded, epochs=cfg.epochs_fine_tune)
-            chunk_times.append(time.perf_counter() - start)
+        for c, flows, window in occupied:
+            result = results[c]
+            model = DoppelGANger.from_state(
+                gan_config, result.state, seed=cfg.seed + c, log=result.log)
             self._chunks.append(_TrainedChunk(
-                model=model, window=window, n_flows=len(flows),
+                index=c, model=model, window=window, n_flows=len(flows),
                 n_records=sum(len(f) for f in flows),
             ))
-        if not self._chunks:
-            raise ValueError("no non-empty chunks to train on")
-        self.cpu_seconds = float(sum(chunk_times))
-        # Parallel model: the seed chunk trains first, later chunks run
-        # concurrently, so wall time = seed + max(fine-tunes).
-        if len(chunk_times) > 1 and cfg.fine_tune_chunks and cfg.dp is None:
-            self.wall_seconds = chunk_times[0] + max(chunk_times[1:])
-        else:
-            self.wall_seconds = float(sum(chunk_times))
+        self.cpu_seconds = float(
+            sum(r.train_seconds for r in results.values()))
         if cfg.dp is not None:
             self.spent_epsilon = self._account_epsilon()
         return self
@@ -232,6 +281,94 @@ class NetShare:
         return accountant.get_epsilon(cfg.dp.delta)
 
     # ------------------------------------------------------------------
+    _SAVE_FORMAT = "netshare-npz"
+    _SAVE_VERSION = 1
+
+    def save(self, path) -> None:
+        """Persist the trained model to a single ``.npz`` archive.
+
+        The archive holds the full config, the fitted encoder state
+        (field scalers + IP2Vec dictionary), and every chunk's
+        ``state_dict`` — enough to :meth:`load` and generate without
+        retraining.
+        """
+        if self._encoder is None or not self._chunks:
+            raise RuntimeError("NetShare is not fitted; call fit() first")
+        chunks = {}
+        for position, chunk in enumerate(self._chunks):
+            chunks[f"chunk_{position}"] = {
+                "index": chunk.index,
+                "window": np.asarray(chunk.window, dtype=np.float64),
+                "n_flows": chunk.n_flows,
+                "n_records": chunk.n_records,
+                "log": {
+                    "d_loss": [float(v) for v in chunk.model.log.d_loss],
+                    "g_loss": [float(v) for v in chunk.model.log.g_loss],
+                    "wall_seconds": chunk.model.log.wall_seconds,
+                    "steps": chunk.model.log.steps,
+                },
+                "model": chunk.model.state_dict(),
+            }
+        save_state_npz(path, {
+            "format": self._SAVE_FORMAT,
+            "version": self._SAVE_VERSION,
+            "kind": self._kind,
+            "config": asdict(self.config),
+            "cpu_seconds": self.cpu_seconds,
+            "wall_seconds": self.wall_seconds,
+            "backend": self.backend,
+            "spent_epsilon": self.spent_epsilon,
+            "encoder": self._encoder.state_dict(),
+            "chunks": chunks,
+        })
+
+    @classmethod
+    def load(cls, path) -> "NetShare":
+        """Rebuild a trained model saved with :meth:`save`.
+
+        The loaded model generates bit-identically to the one that was
+        saved (given the same ``generate`` seed).
+        """
+        state = load_state_npz(path)
+        if state.get("format") != cls._SAVE_FORMAT:
+            raise ValueError(f"{path} is not a NetShare model archive")
+        cfg_data = dict(state["config"])
+        dp_data = cfg_data.pop("dp", None)
+        config = NetShareConfig(
+            dp=DpSgdConfig(**dp_data) if dp_data is not None else None,
+            **cfg_data)
+        model = cls(config)
+        model._kind = str(state["kind"])
+        model._encoder = FlowTensorEncoder.from_state(state["encoder"])
+        gan_config = model._gan_config(model._encoder)
+        model._chunks = []
+        for position in range(len(state["chunks"])):
+            entry = state["chunks"][f"chunk_{position}"]
+            log = TrainingLog(
+                d_loss=[float(v) for v in entry["log"]["d_loss"]],
+                g_loss=[float(v) for v in entry["log"]["g_loss"]],
+                wall_seconds=float(entry["log"]["wall_seconds"]),
+                steps=int(entry["log"]["steps"]),
+            )
+            index = int(entry["index"])
+            model._chunks.append(_TrainedChunk(
+                index=index,
+                model=DoppelGANger.from_state(
+                    gan_config, entry["model"],
+                    seed=config.seed + index, log=log),
+                window=tuple(float(v) for v in entry["window"]),
+                n_flows=int(entry["n_flows"]),
+                n_records=int(entry["n_records"]),
+            ))
+        model.cpu_seconds = float(state["cpu_seconds"])
+        model.wall_seconds = float(state["wall_seconds"])
+        model.backend = (None if state["backend"] is None
+                         else str(state["backend"]))
+        model.spent_epsilon = (None if state["spent_epsilon"] is None
+                               else float(state["spent_epsilon"]))
+        return model
+
+    # ------------------------------------------------------------------
     def generate(self, n_records: int, seed: Optional[int] = None):
         """Generate a synthetic trace with roughly ``n_records`` records."""
         if self._encoder is None or not self._chunks:
@@ -259,13 +396,25 @@ class NetShare:
                     shortfall * share / rpf_estimate[id(chunk)] * 1.1)))
                 encoded = chunk.model.generate(
                     n_flows, seed=int(rng.integers(0, 2**31)))
+                # A degenerate model can emit flows whose every timestep
+                # is inactive; decode would fail, and an empty piece
+                # would poison the concatenate below — drop them.
+                if not np.any(encoded.gen_flags > 0.5):
+                    continue
                 piece = self._encoder.decode(encoded, chunk.window, rng=rng)
+                if len(piece) == 0:
+                    continue
                 pieces.append(piece)
                 produced += len(piece)
                 rpf_estimate[id(chunk)] = max(len(piece) / n_flows, 1.0)
             shortfall = n_records - produced
             if shortfall <= 0:
                 break
+        if not pieces:
+            raise RuntimeError(
+                "generation produced no records: every chunk model decoded "
+                "to an empty trace (degenerate generator?); retrain with "
+                "more epochs or a different seed")
         trace = type(pieces[0]).concatenate(pieces)
         if isinstance(trace, PacketTrace):
             trace = finalize_packet_trace(trace, rng=rng)

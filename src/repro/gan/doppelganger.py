@@ -268,6 +268,25 @@ class DoppelGANger:
                 state[f"{prefix}.{name}"] = p.data.copy()
         return state
 
+    @classmethod
+    def from_state(cls, config: DgConfig, state: Dict[str, np.ndarray],
+                   seed: int = 0, log: Optional[TrainingLog] = None,
+                   ) -> "DoppelGANger":
+        """Construct-from-state factory (the runtime's reassembly path).
+
+        Builds a model with the given config/seed and overwrites its
+        parameters with ``state`` — e.g. weights trained by a
+        :func:`repro.runtime.chunk_tasks.train_chunk` worker, or loaded
+        from a ``NetShare.save`` archive.  Passing the same ``seed``
+        used at training time keeps any later in-process sampling
+        (``generate`` without an explicit seed) reproducible.
+        """
+        model = cls(config, seed=seed)
+        model.load_state_dict(state)
+        if log is not None:
+            model.log = log
+        return model
+
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         for prefix, module in self._named_modules():
             sub = {

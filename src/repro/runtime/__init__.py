@@ -1,0 +1,51 @@
+"""repro.runtime: the parallel chunk-training runtime.
+
+Training work across the codebase — NetShare's per-chunk fine-tuning
+(Insight 3) and the epoch-parallel tabular baselines — is expressed as
+stateless, picklable tasks mapped through one ``Executor.map_tasks()``
+interface with interchangeable ``serial`` and ``multiprocessing``
+backends.  See :mod:`repro.runtime.executor` for the determinism
+contract and :mod:`repro.runtime.chunk_tasks` for the task functions.
+"""
+
+from .executor import (
+    JOBS_ENV_VAR,
+    Executor,
+    MultiprocessingExecutor,
+    SerialExecutor,
+    get_executor,
+    resolve_jobs,
+)
+from .chunk_tasks import (
+    ChunkResult,
+    ChunkTask,
+    RowGanResult,
+    RowGanTask,
+    train_chunk,
+    train_rowgan,
+)
+from .serialization import (
+    flatten_state,
+    load_state_npz,
+    save_state_npz,
+    unflatten_state,
+)
+
+__all__ = [
+    "JOBS_ENV_VAR",
+    "Executor",
+    "SerialExecutor",
+    "MultiprocessingExecutor",
+    "get_executor",
+    "resolve_jobs",
+    "ChunkTask",
+    "ChunkResult",
+    "RowGanTask",
+    "RowGanResult",
+    "train_chunk",
+    "train_rowgan",
+    "flatten_state",
+    "unflatten_state",
+    "save_state_npz",
+    "load_state_npz",
+]

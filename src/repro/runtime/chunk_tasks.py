@@ -1,0 +1,134 @@
+"""Stateless, picklable training tasks for the executor layer.
+
+Each task bundles *everything* a worker needs to train one model:
+encoded tensors (numpy — pickle-friendly), the model config, an
+optional warm-start ``state_dict`` (the Insight-3 seed model), and the
+RNG seed.  Workers never touch shared state, so a task trains to the
+same weights on any backend — the per-chunk seed is derived from the
+NetShare config (``cfg.seed + chunk_index``), never from scheduling
+order.
+
+Results travel back as plain ``state_dict`` arrays plus the training
+log; the orchestrator reconstructs live models with
+``DoppelGANger.from_state`` / ``RowGan`` + ``load_state_dict``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core.flow_encoder import EncodedFlows
+from ..gan.doppelganger import DgConfig, DoppelGANger, TrainingLog
+from ..privacy.dpsgd import DpSgdConfig
+
+__all__ = [
+    "ChunkTask",
+    "ChunkResult",
+    "train_chunk",
+    "RowGanTask",
+    "RowGanResult",
+    "train_rowgan",
+]
+
+_CHUNK_MODES = ("fit", "fine_tune", "fit_dp")
+
+
+@dataclass
+class ChunkTask:
+    """One chunk of the time-sliced DoppelGANger training (Insight 3)."""
+
+    chunk_index: int
+    encoded: EncodedFlows
+    gan_config: DgConfig
+    seed: int                     # model construction + training seed
+    epochs: int
+    mode: str = "fit"             # 'fit' | 'fine_tune' | 'fit_dp'
+    init_state: Optional[Dict[str, np.ndarray]] = None
+    dp_config: Optional[DpSgdConfig] = None
+
+    def __post_init__(self):
+        if self.mode not in _CHUNK_MODES:
+            raise ValueError(f"mode must be one of {_CHUNK_MODES}")
+        if self.mode == "fine_tune" and self.init_state is None:
+            raise ValueError("fine_tune tasks need an init_state")
+        if self.mode == "fit_dp" and self.dp_config is None:
+            raise ValueError("fit_dp tasks need a dp_config")
+
+
+@dataclass
+class ChunkResult:
+    """Trained weights + timing for one chunk, in task order."""
+
+    chunk_index: int
+    state: Dict[str, np.ndarray]
+    log: TrainingLog
+    train_seconds: float
+
+
+def train_chunk(task: ChunkTask) -> ChunkResult:
+    """Pure task function: build, (warm-start,) train, return weights.
+
+    Module-level and side-effect-free so it pickles for any backend.
+    """
+    model = DoppelGANger(task.gan_config, seed=task.seed)
+    start = time.perf_counter()
+    if task.mode == "fit_dp":
+        if task.init_state is not None:
+            model.load_state_dict(task.init_state)
+        model.fit_dp(task.encoded, epochs=task.epochs,
+                     dp_config=task.dp_config, seed=task.seed)
+    elif task.mode == "fine_tune":
+        model.load_state_dict(task.init_state)
+        model.fine_tune(task.encoded, epochs=task.epochs)
+    else:
+        model.fit(task.encoded, epochs=task.epochs)
+    elapsed = time.perf_counter() - start
+    return ChunkResult(
+        chunk_index=task.chunk_index,
+        state=model.state_dict(),
+        log=model.log,
+        train_seconds=elapsed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Row-GAN tasks: the epoch-parallel baselines (E-WGAN-GP et al.) train
+# one tabular model per measurement epoch; each epoch is one task so
+# baseline comparisons share the exact same runtime as NetShare.
+
+@dataclass
+class RowGanTask:
+    """Train one RowGan on one epoch's rows."""
+
+    index: int
+    columns: List[Any]            # Sequence[ColumnSpec]
+    config: Any                   # RowGanConfig
+    seed: int
+    rows: np.ndarray
+    epochs: int
+    conditions: Optional[np.ndarray] = None
+
+
+@dataclass
+class RowGanResult:
+    index: int
+    state: Dict[str, np.ndarray]
+    train_seconds: float
+
+
+def train_rowgan(task: RowGanTask) -> RowGanResult:
+    # Imported lazily: repro.baselines imports repro.core.netshare,
+    # which imports this module — a top-level import would be circular.
+    from ..baselines.rowgan import RowGan
+
+    gan = RowGan(task.columns, task.config, seed=task.seed)
+    gan.fit(task.rows, epochs=task.epochs, conditions=task.conditions)
+    return RowGanResult(
+        index=task.index,
+        state=gan.state_dict(),
+        train_seconds=gan.train_seconds,
+    )

@@ -1,0 +1,101 @@
+"""Flat ``.npz`` persistence for nested state dictionaries.
+
+A model's state is a nested dict whose leaves are either numpy arrays
+(weights, quantile tables, embedding matrices) or plain JSON-able
+values (config scalars, vocab lists, flags).  ``save_state_npz``
+flattens it into a single ``.npz``: array leaves become npz entries
+keyed by their ``/``-joined path; everything else is gathered into one
+JSON document stored under ``__meta__``.  ``load_state_npz`` reverses
+the mapping exactly.
+
+Keys must not contain ``/`` (the path separator); parameter names use
+``.`` so this never collides in practice.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = ["flatten_state", "unflatten_state", "save_state_npz",
+           "load_state_npz"]
+
+_META_KEY = "__meta__"
+_SEP = "/"
+
+
+def flatten_state(state: Dict[str, Any]):
+    """Split a nested dict into (flat array dict, nested JSON-able meta)."""
+    arrays: Dict[str, np.ndarray] = {}
+    meta: Dict[str, Any] = {}
+
+    def walk(node: Dict[str, Any], path: str, meta_node: Dict[str, Any]):
+        for key, value in node.items():
+            key = str(key)
+            if _SEP in key:
+                raise ValueError(f"state key {key!r} contains {_SEP!r}")
+            full = f"{path}{_SEP}{key}" if path else key
+            if isinstance(value, dict):
+                child: Dict[str, Any] = {}
+                meta_node[key] = child
+                walk(value, full, child)
+            elif isinstance(value, np.ndarray):
+                arrays[full] = value
+            else:
+                meta_node[key] = _jsonable(value, full)
+    walk(state, "", meta)
+    return arrays, meta
+
+
+def _jsonable(value: Any, path: str) -> Any:
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, tuple):
+        value = list(value)
+    if isinstance(value, list):
+        return [_jsonable(v, path) for v in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(
+        f"state leaf {path!r} of type {type(value).__name__} is neither "
+        "a numpy array nor JSON-able")
+
+
+def unflatten_state(arrays: Dict[str, np.ndarray],
+                    meta: Dict[str, Any]) -> Dict[str, Any]:
+    """Rebuild the nested state dict from flat arrays + meta tree."""
+    state = json.loads(json.dumps(meta))  # deep copy, plain types
+    for full, value in arrays.items():
+        node = state
+        parts = full.split(_SEP)
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        node[parts[-1]] = value
+    return state
+
+
+def save_state_npz(path, state: Dict[str, Any]) -> None:
+    """Persist a nested state dict to a single compressed ``.npz``."""
+    arrays, meta = flatten_state(state)
+    if _META_KEY in arrays:
+        raise ValueError(f"{_META_KEY!r} is a reserved key")
+    np.savez_compressed(
+        path, **arrays, **{_META_KEY: np.array(json.dumps(meta))})
+
+
+def load_state_npz(path) -> Dict[str, Any]:
+    """Load a state dict written by :func:`save_state_npz`."""
+    with np.load(path, allow_pickle=False) as payload:
+        if _META_KEY not in payload.files:
+            raise ValueError(f"{path} is not a repro state file "
+                             f"(missing {_META_KEY!r})")
+        meta = json.loads(str(payload[_META_KEY]))
+        arrays = {name: payload[name] for name in payload.files
+                  if name != _META_KEY}
+    return unflatten_state(arrays, meta)

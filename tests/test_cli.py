@@ -28,6 +28,9 @@ class TestParser:
         for argv in (
             ["dataset", "ugr16", "x.csv"],
             ["synthesize", "a.csv", "b.csv", "--model", "CTGAN"],
+            ["synthesize", "a.csv", "b.csv", "--jobs", "2",
+             "--save-model", "m.npz"],
+            ["generate", "m.npz", "b.csv", "--records", "50"],
             ["evaluate", "a.csv", "b.csv"],
             ["consistency", "a.csv"],
             ["anonymize", "a.csv", "b.csv", "--method", "truncate"],
@@ -65,6 +68,31 @@ class TestSynthesizeCommand:
         synthetic = read_flow_csv(out)
         assert len(synthetic) == 100
         assert "training NetShare" in capsys.readouterr().out
+
+    def test_save_model_then_generate(self, dataset_csv, tmp_path, capsys):
+        out = tmp_path / "synthetic.csv"
+        model_path = tmp_path / "model.npz"
+        code = main([
+            "synthesize", str(dataset_csv), str(out),
+            "--epochs", "2", "--chunks", "2", "--records", "60",
+            "--jobs", "2", "--save-model", str(model_path),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "backend=multiprocessing" in printed
+        assert model_path.exists()
+        regen = tmp_path / "regen.csv"
+        assert main(["generate", str(model_path), str(regen),
+                     "--records", "40"]) == 0
+        assert len(read_flow_csv(regen)) == 40
+
+    def test_save_model_rejected_for_baselines(self, dataset_csv, tmp_path):
+        code = main([
+            "synthesize", str(dataset_csv), str(tmp_path / "x.csv"),
+            "--model", "CTGAN", "--epochs", "2",
+            "--save-model", str(tmp_path / "x.npz"),
+        ])
+        assert code == 2
 
     def test_baseline_model(self, dataset_csv, tmp_path):
         out = tmp_path / "ctgan.csv"

@@ -47,10 +47,12 @@ class TestFit:
         assert fitted_netflow.cpu_seconds > 0
         assert fitted_netflow.wall_seconds > 0
 
-    def test_parallel_wall_less_than_cpu(self, fitted_netflow):
-        """Insight 3: fine-tuned chunks train in parallel, so modelled
-        wall time is below total CPU time."""
-        assert fitted_netflow.wall_seconds <= fitted_netflow.cpu_seconds
+    def test_serial_wall_is_measured(self, fitted_netflow):
+        """wall_seconds is measured (not modelled): on the serial
+        backend it covers every task plus dispatch overhead, so it is
+        at least the per-task cpu_seconds sum."""
+        assert fitted_netflow.backend == "serial"
+        assert fitted_netflow.wall_seconds >= fitted_netflow.cpu_seconds
 
     def test_pcap(self, pcap):
         model = NetShare(fast_config(max_timesteps=12)).fit(pcap)
