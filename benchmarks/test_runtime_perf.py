@@ -1,0 +1,183 @@
+"""Runtime performance gate: serial vs multiprocessing vs shm dispatch.
+
+Measures, for one ≥4-chunk NetShare configuration:
+
+* **fit** — wall seconds, summed per-task cpu seconds, and the pickled
+  dispatch-payload bytes each backend pushes through the worker pipe
+  (the number the zero-copy shared-memory plane exists to shrink);
+* **generate** — wall seconds for sequential (jobs=1) vs parallel
+  (jobs=4) per-chunk sampling on each parallel backend.
+
+Everything lands in ``BENCH_runtime.json`` at the repo root, and the
+tests double as the regression gate: chunk weights and generated
+traces must be *bit-identical* across all three backends, and the shm
+backend must cut dispatch bytes by at least 10× versus pickling the
+tensors into every task.
+
+Scale knobs: set ``REPRO_BENCH_SMOKE=1`` for the tiny CI-sized run.
+Wall-clock speedup assertions only run on machines with ≥4 CPUs (the
+JSON records ``cpus`` so single-core results are interpretable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import NetShare, NetShareConfig
+from repro.datasets import load_dataset
+from repro.runtime import BACKENDS, MEASURE_DISPATCH_ENV_VAR
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_runtime.json"
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE", "").strip())
+RECORDS = 240 if SMOKE else 600
+N_CHUNKS = 4 if SMOKE else 5          # acceptance floor: >= 4 chunks
+EPOCHS_SEED = 2 if SMOKE else 6
+EPOCHS_FINE_TUNE = 1 if SMOKE else 3
+GEN_RECORDS = 120 if SMOKE else 400
+JOBS = 4
+
+TRACE_COLUMNS = ("src_ip", "dst_ip", "src_port", "dst_port", "protocol",
+                 "start_time", "duration", "packets", "bytes")
+
+
+def _config(backend: str, jobs: int) -> NetShareConfig:
+    return NetShareConfig(
+        n_chunks=N_CHUNKS, epochs_seed=EPOCHS_SEED,
+        epochs_fine_tune=EPOCHS_FINE_TUNE, ip2vec_public_records=400,
+        batch_size=32, seed=0, jobs=jobs, backend=backend,
+    )
+
+
+def _trace_equal(a, b) -> bool:
+    return all(np.array_equal(getattr(a, col), getattr(b, col))
+               for col in TRACE_COLUMNS)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    """Run the whole measurement matrix once; tests assert on it."""
+    previous = os.environ.get(MEASURE_DISPATCH_ENV_VAR)
+    os.environ[MEASURE_DISPATCH_ENV_VAR] = "1"
+    try:
+        trace = load_dataset("ugr16", n_records=RECORDS, seed=0)
+        report = {
+            "config": {
+                "dataset": "ugr16", "records": RECORDS,
+                "n_chunks": N_CHUNKS, "epochs_seed": EPOCHS_SEED,
+                "epochs_fine_tune": EPOCHS_FINE_TUNE,
+                "generate_records": GEN_RECORDS, "jobs": JOBS,
+                "smoke": SMOKE,
+            },
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "fit": {}, "generate": {},
+        }
+
+        models = {}
+        for backend in BACKENDS:
+            jobs = 1 if backend == "serial" else JOBS
+            model = NetShare(_config(backend, jobs)).fit(trace)
+            models[backend] = model
+            report["fit"][backend] = {
+                "jobs": jobs,
+                "wall_seconds": round(model.wall_seconds, 3),
+                "cpu_seconds": round(model.cpu_seconds, 3),
+                "dispatch_bytes": model.dispatch_bytes,
+                "dispatch_tasks": model.dispatch_tasks,
+            }
+
+        serial = models["serial"]
+        fit_identical = all(
+            np.array_equal(sa[key], sb[key])
+            for backend in ("multiprocessing", "shm")
+            for a, b in zip(serial._chunks, models[backend]._chunks)
+            for sa, sb in [(a.model.state_dict(), b.model.state_dict())]
+            for key in sa
+        )
+
+        traces = {}
+        for label, jobs, backend in (
+            ("serial_jobs1", 1, "serial"),
+            (f"multiprocessing_jobs{JOBS}", JOBS, "multiprocessing"),
+            (f"shm_jobs{JOBS}", JOBS, "shm"),
+        ):
+            traces[label] = serial.generate(GEN_RECORDS, seed=7,
+                                            jobs=jobs, backend=backend)
+            report["generate"][label] = {
+                "wall_seconds": round(serial.generate_wall_seconds, 3),
+                "dispatch_bytes": serial.generate_dispatch_bytes,
+                "records": len(traces[label]),
+            }
+        gen_identical = all(
+            _trace_equal(traces["serial_jobs1"], traces[label])
+            for label in traces if label != "serial_jobs1"
+        )
+
+        fit_mp = report["fit"]["multiprocessing"]["dispatch_bytes"]
+        fit_shm = report["fit"]["shm"]["dispatch_bytes"]
+        gen_mp = report["generate"][
+            f"multiprocessing_jobs{JOBS}"]["dispatch_bytes"]
+        gen_shm = report["generate"][f"shm_jobs{JOBS}"]["dispatch_bytes"]
+        report["summary"] = {
+            "fit_dispatch_reduction": round(fit_mp / max(fit_shm, 1), 1),
+            "generate_dispatch_reduction": round(gen_mp / max(gen_shm, 1), 1),
+            "generate_parallel_speedup": round(
+                report["generate"]["serial_jobs1"]["wall_seconds"]
+                / max(report["generate"][f"shm_jobs{JOBS}"]["wall_seconds"],
+                      1e-9), 2),
+            "fit_bit_identical": fit_identical,
+            "generate_bit_identical": gen_identical,
+        }
+        OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {OUTPUT_PATH}")
+        print(json.dumps(report["summary"], indent=2))
+        return {"report": report, "models": models, "traces": traces}
+    finally:
+        if previous is None:
+            os.environ.pop(MEASURE_DISPATCH_ENV_VAR, None)
+        else:
+            os.environ[MEASURE_DISPATCH_ENV_VAR] = previous
+
+
+class TestRuntimePerf:
+    def test_fit_bit_identical_across_backends(self, bench):
+        """CI gate: the shm (and mp) data plane must not change what
+        any chunk learns."""
+        assert bench["report"]["summary"]["fit_bit_identical"]
+
+    def test_generate_bit_identical_across_backends(self, bench):
+        assert bench["report"]["summary"]["generate_bit_identical"]
+
+    def test_shm_cuts_fit_dispatch_bytes_10x(self, bench):
+        summary = bench["report"]["summary"]
+        assert summary["fit_dispatch_reduction"] >= 10.0
+
+    def test_shm_cuts_generate_dispatch_bytes_10x(self, bench):
+        summary = bench["report"]["summary"]
+        assert summary["generate_dispatch_reduction"] >= 10.0
+
+    @pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                        reason="speedup gate needs >= 4 CPUs")
+    def test_parallel_generate_beats_sequential(self, bench):
+        """Acceptance: jobs=4 generation <= 0.7x sequential wall."""
+        gen = bench["report"]["generate"]
+        sequential = gen["serial_jobs1"]["wall_seconds"]
+        parallel = min(gen[f"multiprocessing_jobs{JOBS}"]["wall_seconds"],
+                       gen[f"shm_jobs{JOBS}"]["wall_seconds"])
+        assert parallel <= 0.7 * sequential
+
+    def test_report_written(self, bench):
+        data = json.loads(OUTPUT_PATH.read_text())
+        assert set(data) >= {"config", "cpus", "fit", "generate", "summary"}
+        assert set(data["fit"]) == set(BACKENDS)
+        for entry in data["fit"].values():
+            assert entry["dispatch_bytes"] > 0
+            assert entry["dispatch_tasks"] >= N_CHUNKS - 1

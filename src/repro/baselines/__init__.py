@@ -62,11 +62,14 @@ _FACTORIES: Dict[str, Callable[..., Synthesizer]] = {
 
 
 def make_baseline(name: str, epochs: int = 30, seed: int = 0,
-                  jobs: Optional[int] = None) -> Synthesizer:
+                  jobs: Optional[int] = None,
+                  backend: Optional[str] = None) -> Synthesizer:
     """Build a baseline by its paper name.
 
-    ``jobs`` selects the repro.runtime executor backend for baselines
-    with parallelisable training (ignored by the rest).
+    ``jobs`` / ``backend`` select the repro.runtime executor for
+    baselines with parallelisable training (ignored by the rest);
+    ``backend='shm'`` routes task payloads through the zero-copy
+    shared-memory data plane.
     """
     try:
         factory = _FACTORIES[name]
@@ -77,4 +80,6 @@ def make_baseline(name: str, epochs: int = 30, seed: int = 0,
     model = factory(epochs=epochs, seed=seed)
     if jobs is not None:
         model.jobs = jobs
+    if backend is not None:
+        model.backend = backend
     return model

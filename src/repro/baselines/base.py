@@ -28,11 +28,14 @@ class Synthesizer(ABC):
     #: (e.g. the epoch-parallel E-WGAN-GP) dispatch through this so
     #: scalability comparisons with NetShare share infrastructure.
     jobs: Optional[int] = None
+    #: Executor backend name (None = pick from jobs / REPRO_BACKEND;
+    #: 'serial', 'multiprocessing', or 'shm' for zero-copy dispatch).
+    backend: Optional[str] = None
 
     def _executor(self):
         from ..runtime import get_executor
 
-        return get_executor(self.jobs)
+        return get_executor(self.jobs, self.backend)
 
     def _check_support(self, trace) -> str:
         kind = "netflow" if isinstance(trace, FlowTrace) else (

@@ -23,7 +23,14 @@ import numpy as np
 
 from ..core.ip2vec import IP2Vec, token
 from ..datasets.records import FlowTrace
-from ..runtime.chunk_tasks import RowGanTask, train_rowgan
+from ..runtime.chunk_tasks import (
+    RowGanSampleTask,
+    RowGanTask,
+    freeze_state,
+    sample_rowgan,
+    train_rowgan,
+)
+from ..runtime.shm import maybe_arena
 from .base import Synthesizer
 from .rowgan import ColumnSpec, RowGan, RowGanConfig
 
@@ -45,11 +52,14 @@ class EWganGp(Synthesizer):
 
     def __init__(self, epochs: int = 30, embedding_dim: int = 8,
                  seed: int = 0, config: Optional[RowGanConfig] = None,
-                 epoch_models: int = 1, jobs: Optional[int] = None):
+                 epoch_models: int = 1, jobs: Optional[int] = None,
+                 backend: Optional[str] = None):
         """``epoch_models > 1`` trains one WGAN per measurement epoch
         (time slice), as the original per-epoch baselines do — an
         embarrassingly parallel workload dispatched through the
-        repro.runtime executor (``jobs`` workers)."""
+        repro.runtime executor (``jobs`` workers; ``backend='shm'``
+        stages the per-epoch row tensors in shared memory so tasks
+        dispatch as manifests)."""
         if epoch_models < 1:
             raise ValueError("need at least one epoch model")
         self.epochs = epochs
@@ -58,6 +68,7 @@ class EWganGp(Synthesizer):
         self.config = config or RowGanConfig()
         self.epoch_models = int(epoch_models)
         self.jobs = jobs
+        self.backend = backend
         self._gan: Optional[RowGan] = None
         self._gans: List[Tuple[RowGan, int]] = []   # (model, rows trained on)
         self._ip2vec: Optional[IP2Vec] = None
@@ -108,20 +119,25 @@ class EWganGp(Synthesizer):
         # task's seed is derived from the epoch index, never from
         # scheduling order, so results are backend-independent.
         buckets = self._epoch_buckets(trace.start_time)
-        tasks = [
-            RowGanTask(index=b, columns=columns, config=self.config,
-                       seed=self.seed + b, rows=rows[idx],
-                       epochs=self.epochs)
-            for b, idx in enumerate(buckets)
-        ]
-        results = self._executor().map_tasks(train_rowgan, tasks)
+        executor = self._executor()
+        with maybe_arena(executor) as arena:
+            stage = (arena.share_array if arena is not None
+                     else (lambda block: block))
+            tasks = [
+                RowGanTask(index=b, columns=columns, config=self.config,
+                           seed=self.seed + b, rows=stage(rows[idx]),
+                           epochs=self.epochs)
+                for b, idx in enumerate(buckets)
+            ]
+            results = executor.map_tasks(train_rowgan, tasks)
+        n_task_rows = [len(idx) for idx in buckets]
         self._gans = []
         self.train_seconds = 0.0
-        for task, result in zip(tasks, results):
+        for task, n_rows, result in zip(tasks, n_task_rows, results):
             gan = RowGan(columns, self.config, seed=self.seed + task.index)
             gan.load_state_dict(result.state)
             gan.train_seconds = result.train_seconds
-            self._gans.append((gan, len(task.rows)))
+            self._gans.append((gan, n_rows))
             self.train_seconds += result.train_seconds
         self._gan = self._gans[0][0]
         return self
@@ -146,7 +162,13 @@ class EWganGp(Synthesizer):
 
     def _sample_raw(self, n_records: int, seed: Optional[int]) -> np.ndarray:
         """Draw raw rows, split across the per-epoch models by their
-        training-row shares (single-model path is unchanged)."""
+        training-row shares (single-model path is unchanged).
+
+        Multi-model sampling fans out through the runtime executor as
+        :class:`RowGanSampleTask` work items.  Every per-model seed is
+        drawn parent-side in fixed model order, so the stacked output is
+        bit-identical across serial/multiprocessing/shm backends.
+        """
         if len(self._gans) == 1:
             return self._gan.generate(n_records, seed)
         rng = np.random.default_rng(self.seed if seed is None else seed)
@@ -157,10 +179,22 @@ class EWganGp(Synthesizer):
             if counts.sum() >= n_records:
                 break
             counts[i] += 1
-        blocks = [
-            gan.generate(int(k), seed=int(rng.integers(0, 2**31)))
-            for (gan, _), k in zip(self._gans, counts) if k > 0
-        ]
+        executor = self._executor()
+        with maybe_arena(executor) as arena:
+            tasks = [
+                RowGanSampleTask(
+                    index=b,
+                    columns=self._gan.columns,
+                    config=self.config,
+                    seed=self.seed + b,
+                    state=freeze_state(gan.state_dict(), arena),
+                    n_rows=int(k),
+                    sample_seed=int(rng.integers(0, 2**31)),
+                )
+                for b, ((gan, _), k) in enumerate(zip(self._gans, counts))
+                if k > 0
+            ]
+            blocks = executor.map_tasks(sample_rowgan, tasks)
         return np.vstack(blocks)
 
     def generate(self, n_records: int, seed: Optional[int] = None):

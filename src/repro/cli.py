@@ -5,10 +5,11 @@ Subcommands:
 * ``dataset``   — generate one of the six evaluation workloads to CSV;
 * ``synthesize``— train NetShare (or a baseline) on a trace CSV and
   write a synthetic trace CSV; ``--jobs N`` fans chunk training out
-  across the repro.runtime multiprocessing backend and
-  ``--save-model`` persists the trained NetShare model to ``.npz``;
+  across the repro.runtime executor (``--backend shm`` adds zero-copy
+  shared-memory dispatch) and ``--save-model`` persists the trained
+  NetShare model to ``.npz``;
 * ``generate``  — sample from a saved NetShare ``.npz`` model without
-  retraining;
+  retraining (``--jobs``/``--backend`` parallelize per-chunk sampling);
 * ``evaluate``  — per-field JSD/EMD fidelity report between two CSVs;
 * ``consistency`` — Appendix-B protocol-compliance checks on a CSV;
 * ``anonymize`` — prefix-preserving or truncation IP anonymization.
@@ -25,6 +26,7 @@ from typing import List, Optional
 
 from . import NetShare, NetShareConfig
 from .baselines import make_baseline
+from .runtime import BACKENDS
 from .datasets import (
     DATASET_PROFILES,
     anonymize_trace,
@@ -79,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None,
                    help="parallel training workers (default: REPRO_JOBS "
                         "env var, then serial; 0 = one per CPU)")
+    p.add_argument("--backend", choices=list(BACKENDS), default=None,
+                   help="executor backend (default: REPRO_BACKEND env "
+                        "var, then picked from --jobs; 'shm' dispatches "
+                        "tensors through zero-copy shared memory)")
     p.add_argument("--save-model", default=None, metavar="PATH",
                    help="persist the trained NetShare model to a .npz "
                         "archive (NetShare only)")
@@ -89,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("output", help="synthetic trace CSV")
     p.add_argument("--records", type=int, default=1000)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="parallel sampling workers (default: the saved "
+                        "model's setting, then REPRO_JOBS)")
+    p.add_argument("--backend", choices=list(BACKENDS), default=None,
+                   help="executor backend for sampling (output is "
+                        "bit-identical across backends)")
 
     p = sub.add_parser("evaluate", help="fidelity report real vs synthetic")
     p.add_argument("real", help="real trace CSV")
@@ -132,14 +144,15 @@ def _cmd_synthesize(args) -> int:
         model = NetShare(NetShareConfig(
             n_chunks=args.chunks, epochs_seed=args.epochs,
             epochs_fine_tune=max(3, args.epochs // 3), seed=args.seed,
-            jobs=args.jobs,
+            jobs=args.jobs, backend=args.backend,
         ))
     else:
         if args.save_model:
             print("--save-model only supports the NetShare model")
             return 2
         model = make_baseline(args.model, epochs=args.epochs,
-                              seed=args.seed, jobs=args.jobs)
+                              seed=args.seed, jobs=args.jobs,
+                              backend=args.backend)
     print(f"training {args.model} on {len(trace)} records...")
     model.fit(trace)
     if isinstance(model, NetShare):
@@ -156,7 +169,8 @@ def _cmd_synthesize(args) -> int:
 
 def _cmd_generate(args) -> int:
     model = NetShare.load(args.model)
-    synthetic = model.generate(args.records, seed=args.seed)
+    synthetic = model.generate(args.records, seed=args.seed,
+                               jobs=args.jobs, backend=args.backend)
     _write_trace(synthetic, args.output, model.kind)
     print(f"wrote {len(synthetic)} synthetic {model.kind} records "
           f"to {args.output}")

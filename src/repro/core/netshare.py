@@ -35,8 +35,16 @@ from ..gan.doppelganger import DgConfig, DoppelGANger, TrainingLog
 from ..privacy.accountant import RdpAccountant
 from ..privacy.dpsgd import DpSgdConfig
 from ..runtime import get_executor
-from ..runtime.chunk_tasks import ChunkResult, ChunkTask, train_chunk
+from ..runtime.chunk_tasks import (
+    ChunkResult,
+    ChunkTask,
+    GenerateTask,
+    freeze_state,
+    generate_chunk,
+    train_chunk,
+)
 from ..runtime.serialization import load_state_npz, save_state_npz
+from ..runtime.shm import maybe_arena
 from .flow_encoder import FlowTensorEncoder
 from .ip2vec import IP2Vec, five_tuple_sentences
 from .preprocess import chunk_flows, split_into_flows, time_range
@@ -72,6 +80,10 @@ class NetShareConfig:
     # Training parallelism: worker count for the repro.runtime executor
     # (None = REPRO_JOBS env var, then 1 = serial; 0 = one per CPU).
     jobs: Optional[int] = None
+    # Executor backend: None (pick serial/multiprocessing from jobs),
+    # 'serial', 'multiprocessing', or 'shm' (zero-copy shared-memory
+    # dispatch); None also falls back to the REPRO_BACKEND env var.
+    backend: Optional[str] = None
     # Differential privacy (Insight 4); None disables DP.
     dp: Optional[DpSgdConfig] = None
     dp_public_dataset: Optional[str] = None
@@ -106,6 +118,12 @@ class NetShare:
         self.wall_seconds: float = 0.0      # measured training wall-clock
         self.backend: Optional[str] = None  # executor backend used by fit
         self.spent_epsilon: Optional[float] = None
+        # Dispatch payload stats (populated only while the
+        # REPRO_MEASURE_DISPATCH env var is set — see the perf bench).
+        self.dispatch_bytes: Optional[int] = None
+        self.dispatch_tasks: int = 0
+        self.generate_dispatch_bytes: Optional[int] = None
+        self.generate_wall_seconds: float = 0.0
 
     @property
     def kind(self) -> Optional[str]:
@@ -193,42 +211,60 @@ class NetShare:
         encoded = {c: self._encoder.encode_chunk(flows, window)
                    for c, flows, window in occupied}
 
-        def make_task(c: int, epochs: int, mode: str,
-                      init_state=None) -> ChunkTask:
-            return ChunkTask(
-                chunk_index=c, encoded=encoded[c], gan_config=gan_config,
-                seed=cfg.seed + c, epochs=epochs, mode=mode,
-                init_state=init_state, dp_config=cfg.dp,
-            )
-
-        executor = get_executor(cfg.jobs)
+        executor = get_executor(cfg.jobs, cfg.backend)
         self.backend = executor.name
         results: Dict[int, ChunkResult] = {}
         wall_start = time.perf_counter()
-        if cfg.dp is not None:
-            # Every chunk fine-tunes (or trains) independently with
-            # DP-SGD, optionally warm-started from the public model.
-            epochs = (cfg.epochs_fine_tune if pretrained_state is not None
-                      else cfg.epochs_seed)
-            tasks = [make_task(c, epochs, "fit_dp", pretrained_state)
-                     for c, _, _ in occupied]
-            batch = executor.map_tasks(train_chunk, tasks)
-        elif cfg.fine_tune_chunks and len(occupied) > 1:
-            # Insight 3: the seed chunk trains first; every other chunk
-            # warm-starts from it and fans out across the backend.
-            seed_index = occupied[0][0]
-            seed_result = train_chunk(
-                make_task(seed_index, cfg.epochs_seed, "fit"))
-            tasks = [make_task(c, cfg.epochs_fine_tune, "fine_tune",
-                               seed_result.state)
-                     for c, _, _ in occupied[1:]]
-            batch = [seed_result] + executor.map_tasks(train_chunk, tasks)
-        else:
-            # No warm start: chunks are fully independent tasks.
-            tasks = [make_task(c, cfg.epochs_seed, "fit")
-                     for c, _, _ in occupied]
-            batch = executor.map_tasks(train_chunk, tasks)
+        # Zero-copy data plane: under the shm backend the encoded chunk
+        # tensors (and any warm-start state) live in a SharedArena for
+        # the duration of the dispatch — tasks carry manifests, workers
+        # attach, and the arena unlinks every block on exit no matter
+        # how training ends.
+        with maybe_arena(executor) as arena:
+            staged = ({c: arena.share_encoded(e) for c, e in encoded.items()}
+                      if arena is not None else encoded)
+
+            def make_task(c: int, epochs: int, mode: str,
+                          init_state=None) -> ChunkTask:
+                return ChunkTask(
+                    chunk_index=c, encoded=staged[c], gan_config=gan_config,
+                    seed=cfg.seed + c, epochs=epochs, mode=mode,
+                    init_state=init_state, dp_config=cfg.dp,
+                )
+
+            if cfg.dp is not None:
+                # Every chunk fine-tunes (or trains) independently with
+                # DP-SGD, optionally warm-started from the public model.
+                epochs = (cfg.epochs_fine_tune
+                          if pretrained_state is not None
+                          else cfg.epochs_seed)
+                init = freeze_state(pretrained_state, arena)
+                tasks = [make_task(c, epochs, "fit_dp", init)
+                         for c, _, _ in occupied]
+                batch = executor.map_tasks(train_chunk, tasks)
+            elif cfg.fine_tune_chunks and len(occupied) > 1:
+                # Insight 3: the seed chunk trains first; every other
+                # chunk warm-starts from it and fans out across the
+                # backend.  The seed state is frozen (pickled) once and
+                # shared by every fine-tune task rather than being
+                # re-serialized into each payload.
+                seed_index = occupied[0][0]
+                seed_result = train_chunk(
+                    make_task(seed_index, cfg.epochs_seed, "fit"))
+                init = freeze_state(seed_result.state, arena)
+                tasks = [make_task(c, cfg.epochs_fine_tune, "fine_tune",
+                                   init)
+                         for c, _, _ in occupied[1:]]
+                batch = ([seed_result]
+                         + executor.map_tasks(train_chunk, tasks))
+            else:
+                # No warm start: chunks are fully independent tasks.
+                tasks = [make_task(c, cfg.epochs_seed, "fit")
+                         for c, _, _ in occupied]
+                batch = executor.map_tasks(train_chunk, tasks)
         self.wall_seconds = time.perf_counter() - wall_start
+        self.dispatch_bytes = executor.dispatch_bytes
+        self.dispatch_tasks = executor.dispatch_tasks
         for result in batch:
             results[result.chunk_index] = result
 
@@ -369,14 +405,49 @@ class NetShare:
         return model
 
     # ------------------------------------------------------------------
-    def generate(self, n_records: int, seed: Optional[int] = None):
-        """Generate a synthetic trace with roughly ``n_records`` records."""
+    @staticmethod
+    def _generate_seeds(base_seed: int, round_index: int,
+                        chunk_index: int) -> Tuple[int, int]:
+        """Derive one chunk's (sample, decode) seeds for one retry round.
+
+        Deterministic in ``(seed, round, chunk index)`` only — never in
+        scheduling order — so every backend produces bit-identical
+        output, and every retry round draws a fresh stream (a
+        degenerate round can't resample the same empty batch forever).
+        """
+        entropy = np.random.SeedSequence(
+            [base_seed & (2**63 - 1), round_index, chunk_index])
+        sample, decode = entropy.generate_state(2, dtype=np.uint64)
+        return int(sample), int(decode)
+
+    def generate(self, n_records: int, seed: Optional[int] = None,
+                 jobs: Optional[int] = None,
+                 backend: Optional[str] = None):
+        """Generate a synthetic trace with roughly ``n_records`` records.
+
+        Per-chunk sampling and decoding fan out as
+        :class:`~repro.runtime.chunk_tasks.GenerateTask` work items
+        through the same executor layer as training: ``jobs`` /
+        ``backend`` default to the fitted config's values, and results
+        are bit-identical across backends because every task's seeds
+        derive from ``(seed, retry round, chunk index)``.
+        """
         if self._encoder is None or not self._chunks:
             raise RuntimeError("NetShare is not fitted; call fit() first")
         if n_records < 1:
             raise ValueError("must generate at least one record")
-        rng = np.random.default_rng(self.config.seed if seed is None else seed)
+        cfg = self.config
+        base_seed = int(cfg.seed if seed is None else seed)
+        executor = get_executor(cfg.jobs if jobs is None else jobs,
+                                cfg.backend if backend is None else backend)
+        rng = np.random.default_rng(base_seed)
         total_records = sum(c.n_records for c in self._chunks)
+        gan_config = self._gan_config(self._encoder)
+        # Frozen once per call: every task (across chunks and retry
+        # rounds) shares the same pre-pickled encoder/model blobs.
+        encoder_state = freeze_state(self._encoder.state_dict())
+        model_states = {c.index: freeze_state(c.model.state_dict())
+                        for c in self._chunks}
         pieces = []
         produced = 0
         # Flows emit a variable number of records (generation flags), so
@@ -384,32 +455,48 @@ class NetShare:
         # The records-per-flow estimate starts from the real data and is
         # recalibrated from what the generator actually emits.
         rpf_estimate = {
-            id(c): min(max(c.n_records / c.n_flows, 1.0),
-                       float(self.config.max_timesteps))
+            c.index: min(max(c.n_records / c.n_flows, 1.0),
+                         float(cfg.max_timesteps))
             for c in self._chunks
         }
         shortfall = n_records
-        for _ in range(8):
-            for chunk in self._chunks:
-                share = chunk.n_records / total_records
-                n_flows = max(1, int(np.ceil(
-                    shortfall * share / rpf_estimate[id(chunk)] * 1.1)))
-                encoded = chunk.model.generate(
-                    n_flows, seed=int(rng.integers(0, 2**31)))
-                # A degenerate model can emit flows whose every timestep
-                # is inactive; decode would fail, and an empty piece
-                # would poison the concatenate below — drop them.
-                if not np.any(encoded.gen_flags > 0.5):
-                    continue
-                piece = self._encoder.decode(encoded, chunk.window, rng=rng)
-                if len(piece) == 0:
-                    continue
-                pieces.append(piece)
-                produced += len(piece)
-                rpf_estimate[id(chunk)] = max(len(piece) / n_flows, 1.0)
-            shortfall = n_records - produced
-            if shortfall <= 0:
-                break
+        wall_start = time.perf_counter()
+        with maybe_arena(executor) as arena:
+            if arena is not None:
+                encoder_state = freeze_state(encoder_state, arena)
+                model_states = {i: freeze_state(s, arena)
+                                for i, s in model_states.items()}
+            for round_index in range(8):
+                tasks = []
+                for chunk in self._chunks:
+                    share = chunk.n_records / total_records
+                    n_flows = max(1, int(np.ceil(
+                        shortfall * share / rpf_estimate[chunk.index] * 1.1)))
+                    sample_seed, decode_seed = self._generate_seeds(
+                        base_seed, round_index, chunk.index)
+                    tasks.append(GenerateTask(
+                        chunk_index=chunk.index, gan_config=gan_config,
+                        model_state=model_states[chunk.index],
+                        encoder_state=encoder_state, window=chunk.window,
+                        n_flows=n_flows, sample_seed=sample_seed,
+                        decode_seed=decode_seed,
+                    ))
+                for piece in executor.map_tasks(generate_chunk, tasks):
+                    # A degenerate model can emit flows whose every
+                    # timestep is inactive; the task reports those as
+                    # trace=None so an empty piece never poisons the
+                    # concatenate below.
+                    if piece.trace is None:
+                        continue
+                    pieces.append(piece.trace)
+                    produced += len(piece.trace)
+                    rpf_estimate[piece.chunk_index] = max(
+                        len(piece.trace) / piece.n_flows, 1.0)
+                shortfall = n_records - produced
+                if shortfall <= 0:
+                    break
+        self.generate_wall_seconds = time.perf_counter() - wall_start
+        self.generate_dispatch_bytes = executor.dispatch_bytes
         if not pieces:
             raise RuntimeError(
                 "generation produced no records: every chunk model decoded "

@@ -159,7 +159,15 @@ class LayerNorm(Module):
 
 
 class GRUCell(Module):
-    """Gated recurrent unit cell (Cho et al. 2014 formulation)."""
+    """Gated recurrent unit cell (Cho et al. 2014 formulation).
+
+    The three gate projections are fused into one ``(I+H, 3H)`` weight,
+    so a step costs a single matmul instead of three.  The candidate
+    gate still sees ``r * h`` (not ``h``): the fused product gives
+    ``x@Wcx + h@Wch``, and adding ``((r - 1) * h) @ Wch`` corrects the
+    hidden term to ``(r*h)@Wch`` — mathematically identical to the
+    unfused Cho formulation.
+    """
 
     def __init__(self, input_size: int, hidden_size: int,
                  rng: Optional[np.random.Generator] = None):
@@ -168,19 +176,21 @@ class GRUCell(Module):
         self.input_size = input_size
         self.hidden_size = hidden_size
         concat_size = input_size + hidden_size
-        self.w_z = Parameter(_glorot(rng, concat_size, hidden_size))
-        self.b_z = Parameter(np.zeros(hidden_size))
-        self.w_r = Parameter(_glorot(rng, concat_size, hidden_size))
-        self.b_r = Parameter(np.zeros(hidden_size))
-        self.w_h = Parameter(_glorot(rng, concat_size, hidden_size))
-        self.b_h = Parameter(np.zeros(hidden_size))
+        # Per-gate glorot draws (same fan and rng order as the unfused
+        # layout), stacked column-wise as [update | reset | candidate].
+        self.w_gates = Parameter(np.hstack([
+            _glorot(rng, concat_size, hidden_size) for _ in range(3)
+        ]))
+        self.b_gates = Parameter(np.zeros(3 * hidden_size))
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        hidden = self.hidden_size
         xh = concatenate([x, h], axis=-1)
-        z = (xh @ self.w_z + self.b_z).sigmoid()
-        r = (xh @ self.w_r + self.b_r).sigmoid()
-        x_rh = concatenate([x, r * h], axis=-1)
-        candidate = (x_rh @ self.w_h + self.b_h).tanh()
+        pre = xh @ self.w_gates + self.b_gates
+        z = pre[:, :hidden].sigmoid()
+        r = pre[:, hidden:2 * hidden].sigmoid()
+        w_ch = self.w_gates[self.input_size:, 2 * hidden:]
+        candidate = (pre[:, 2 * hidden:] + ((r - 1.0) * h) @ w_ch).tanh()
         return (1.0 - z) * h + z * candidate
 
     def initial_state(self, batch_size: int) -> Tensor:

@@ -1,26 +1,45 @@
-"""repro.runtime: the parallel chunk-training runtime.
+"""repro.runtime: the parallel chunk-training and generation runtime.
 
-Training work across the codebase — NetShare's per-chunk fine-tuning
-(Insight 3) and the epoch-parallel tabular baselines — is expressed as
-stateless, picklable tasks mapped through one ``Executor.map_tasks()``
-interface with interchangeable ``serial`` and ``multiprocessing``
-backends.  See :mod:`repro.runtime.executor` for the determinism
-contract and :mod:`repro.runtime.chunk_tasks` for the task functions.
+Work across the codebase — NetShare's per-chunk fine-tuning
+(Insight 3), per-chunk synthesis in ``NetShare.generate``, and the
+epoch-parallel tabular baselines — is expressed as stateless,
+picklable tasks mapped through one ``Executor.map_tasks()`` interface
+with interchangeable ``serial``, ``multiprocessing``, and ``shm``
+backends.  The ``shm`` backend feeds workers through the zero-copy
+shared-memory data plane in :mod:`repro.runtime.shm`: bulk tensors and
+frozen model states live in a :class:`~repro.runtime.shm.SharedArena`
+and tasks carry only tiny manifests.  See
+:mod:`repro.runtime.executor` for the determinism contract and
+:mod:`repro.runtime.chunk_tasks` for the task functions.
 """
 
 from .executor import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
     JOBS_ENV_VAR,
+    MEASURE_DISPATCH_ENV_VAR,
     Executor,
     MultiprocessingExecutor,
     SerialExecutor,
+    SharedMemoryExecutor,
     get_executor,
+    resolve_backend,
     resolve_jobs,
 )
 from .chunk_tasks import (
     ChunkResult,
     ChunkTask,
+    FrozenState,
+    GeneratePiece,
+    GenerateTask,
     RowGanResult,
+    RowGanSampleTask,
     RowGanTask,
+    freeze_state,
+    generate_chunk,
+    materialize_encoded,
+    sample_rowgan,
+    thaw_state,
     train_chunk,
     train_rowgan,
 )
@@ -30,22 +49,54 @@ from .serialization import (
     save_state_npz,
     unflatten_state,
 )
+from .shm import (
+    ArrayRef,
+    SharedArena,
+    SharedEncodedFlows,
+    attach_array,
+    block_exists,
+    detach_all,
+    maybe_arena,
+    read_shared_bytes,
+)
 
 __all__ = [
     "JOBS_ENV_VAR",
+    "BACKEND_ENV_VAR",
+    "MEASURE_DISPATCH_ENV_VAR",
+    "BACKENDS",
     "Executor",
     "SerialExecutor",
     "MultiprocessingExecutor",
+    "SharedMemoryExecutor",
     "get_executor",
     "resolve_jobs",
+    "resolve_backend",
     "ChunkTask",
     "ChunkResult",
+    "GenerateTask",
+    "GeneratePiece",
     "RowGanTask",
     "RowGanResult",
+    "RowGanSampleTask",
+    "FrozenState",
+    "freeze_state",
+    "thaw_state",
+    "materialize_encoded",
     "train_chunk",
+    "generate_chunk",
     "train_rowgan",
+    "sample_rowgan",
     "flatten_state",
     "unflatten_state",
     "save_state_npz",
     "load_state_npz",
+    "ArrayRef",
+    "SharedArena",
+    "SharedEncodedFlows",
+    "attach_array",
+    "read_shared_bytes",
+    "block_exists",
+    "detach_all",
+    "maybe_arena",
 ]

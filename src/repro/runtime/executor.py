@@ -4,28 +4,40 @@ NetShare's headline scalability result (Insight 3, Fig 4) is that
 per-chunk fine-tuning from a shared seed model is embarrassingly
 parallel.  This module is the runtime that makes that real: training
 work is expressed as stateless, picklable task objects mapped through
-one ``Executor.map_tasks()`` interface, with two interchangeable
+one ``Executor.map_tasks()`` interface, with three interchangeable
 backends:
 
 * :class:`SerialExecutor` — in-process loop (the default; also the
   reference semantics every other backend must reproduce bit-exactly);
 * :class:`MultiprocessingExecutor` — a ``multiprocessing.Pool`` fan-out
-  across worker processes.
+  across worker processes (tasks pickled into the worker pipe);
+* :class:`SharedMemoryExecutor` — the same fan-out, but it announces
+  ``uses_shared_memory`` so callers move bulk tensors into a
+  :class:`~repro.runtime.shm.SharedArena` and dispatch only tiny
+  manifests through the pipe (the zero-copy data plane).
 
 Determinism contract: a task carries every RNG seed it needs (derived
 from the model config, never from scheduling order), so backends only
 change *where* a task runs — results are bit-identical across
 backends and across ``jobs`` settings.
 
-Backend selection: ``get_executor(jobs)``; a ``jobs`` of ``None``
-falls back to the ``REPRO_JOBS`` environment variable, then to 1
-(serial).  ``jobs=0`` means "one worker per CPU".
+Backend selection: ``get_executor(jobs, backend)``; a ``jobs`` of
+``None`` falls back to the ``REPRO_JOBS`` environment variable, then
+to 1 (serial), and ``jobs=0`` means "one worker per CPU".  A
+``backend`` of ``None`` falls back to ``REPRO_BACKEND``, then to
+serial/multiprocessing chosen by the job count.
+
+Dispatch instrumentation: when ``REPRO_MEASURE_DISPATCH`` is set (the
+perf benchmark harness does this), every ``map_tasks`` call records
+the pickled size of its task list on ``dispatch_bytes`` /
+``dispatch_tasks`` — the number the zero-copy plane exists to shrink.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 from abc import ABC, abstractmethod
 from typing import Any, Callable, List, Optional, Sequence
 
@@ -33,13 +45,26 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "MultiprocessingExecutor",
+    "SharedMemoryExecutor",
     "resolve_jobs",
+    "resolve_backend",
     "get_executor",
     "JOBS_ENV_VAR",
+    "BACKEND_ENV_VAR",
+    "MEASURE_DISPATCH_ENV_VAR",
+    "BACKENDS",
 ]
 
 #: Environment variable consulted when no explicit job count is given.
 JOBS_ENV_VAR = "REPRO_JOBS"
+#: Environment variable consulted when no explicit backend is given.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+#: When set (to anything non-empty), executors record dispatch payload
+#: sizes — used by the perf benchmark harness.
+MEASURE_DISPATCH_ENV_VAR = "REPRO_MEASURE_DISPATCH"
+
+#: Recognised backend names, in the order the docs present them.
+BACKENDS = ("serial", "multiprocessing", "shm")
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -65,6 +90,20 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
+def resolve_backend(backend: Optional[str] = None) -> Optional[str]:
+    """Resolve a backend name: explicit value > ``REPRO_BACKEND`` > None
+    (None = pick serial/multiprocessing from the job count)."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR, "").strip() or None
+    if backend is None:
+        return None
+    backend = str(backend).lower()
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    return backend
+
+
 class Executor(ABC):
     """Maps a task function over a sequence of task objects.
 
@@ -76,11 +115,30 @@ class Executor(ABC):
     name: str = "base"
     #: Number of concurrent workers this executor may use.
     jobs: int = 1
+    #: True when callers should move bulk payloads into a SharedArena
+    #: and dispatch manifests instead of tensors.
+    uses_shared_memory: bool = False
+
+    def __init__(self):
+        #: Cumulative pickled task-payload bytes (only populated while
+        #: REPRO_MEASURE_DISPATCH is set; None otherwise).
+        self.dispatch_bytes: Optional[int] = None
+        self.dispatch_tasks: int = 0
 
     @abstractmethod
     def map_tasks(self, fn: Callable[[Any], Any],
                   tasks: Sequence[Any]) -> List[Any]:
         """Run ``fn`` on every task; return results in task order."""
+
+    def _record_dispatch(self, tasks: Sequence[Any]) -> None:
+        if not os.environ.get(MEASURE_DISPATCH_ENV_VAR, "").strip():
+            return
+        size = sum(
+            len(pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL))
+            for task in tasks
+        )
+        self.dispatch_bytes = (self.dispatch_bytes or 0) + size
+        self.dispatch_tasks += len(tasks)
 
 
 class SerialExecutor(Executor):
@@ -90,6 +148,8 @@ class SerialExecutor(Executor):
     jobs = 1
 
     def map_tasks(self, fn, tasks):
+        tasks = list(tasks)
+        self._record_dispatch(tasks)
         return [fn(task) for task in tasks]
 
 
@@ -105,6 +165,7 @@ class MultiprocessingExecutor(Executor):
     name = "multiprocessing"
 
     def __init__(self, jobs: Optional[int] = None):
+        super().__init__()
         self.jobs = resolve_jobs(jobs if jobs is not None else 0)
 
     def _context(self):
@@ -117,6 +178,7 @@ class MultiprocessingExecutor(Executor):
         tasks = list(tasks)
         if not tasks:
             return []
+        self._record_dispatch(tasks)
         workers = min(self.jobs, len(tasks))
         if workers <= 1:
             return [fn(task) for task in tasks]
@@ -124,9 +186,37 @@ class MultiprocessingExecutor(Executor):
             return pool.map(fn, tasks, chunksize=1)
 
 
-def get_executor(jobs: Optional[int] = None) -> Executor:
-    """Build the executor for a job count (see :func:`resolve_jobs`)."""
+class SharedMemoryExecutor(MultiprocessingExecutor):
+    """Multiprocessing fan-out fed through the zero-copy data plane.
+
+    The executor itself schedules exactly like its parent; the
+    difference is the ``uses_shared_memory`` flag, which tells callers
+    (``NetShare.fit``/``generate``, ``EWganGp.fit``) to stage encoded
+    tensors and frozen states in a :class:`~repro.runtime.shm.SharedArena`
+    so each dispatched task is a few hundred bytes of manifest instead
+    of megabytes of pickled tensor.
+    """
+
+    name = "shm"
+    uses_shared_memory = True
+
+
+_BACKEND_CLASSES = {
+    "serial": SerialExecutor,
+    "multiprocessing": MultiprocessingExecutor,
+    "shm": SharedMemoryExecutor,
+}
+
+
+def get_executor(jobs: Optional[int] = None,
+                 backend: Optional[str] = None) -> Executor:
+    """Build the executor for a job count and optional backend name
+    (see :func:`resolve_jobs` / :func:`resolve_backend`)."""
     resolved = resolve_jobs(jobs)
-    if resolved <= 1:
+    chosen = resolve_backend(backend)
+    if chosen is None:
+        chosen = "serial" if resolved <= 1 else "multiprocessing"
+    cls = _BACKEND_CLASSES[chosen]
+    if cls is SerialExecutor:
         return SerialExecutor()
-    return MultiprocessingExecutor(resolved)
+    return cls(resolved)

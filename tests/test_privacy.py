@@ -110,6 +110,36 @@ class TestPrivatizeGradients:
     def test_empty_batch_raises(self):
         with pytest.raises(ValueError):
             privatize_gradients([], DpSgdConfig(), np.random.default_rng(0))
+        from repro.privacy.dpsgd import _privatize_gradients_loop
+        with pytest.raises(ValueError):
+            _privatize_gradients_loop([], DpSgdConfig(),
+                                      np.random.default_rng(0))
+
+    @pytest.mark.parametrize("clip_norm,noise", [
+        (1.0, 1.2),     # most examples clipped, noisy
+        (50.0, 0.7),    # mixed clipped/unclipped
+        (1e9, 0.0),     # nothing clipped, no noise
+    ])
+    def test_vectorized_matches_loop_bitwise(self, clip_norm, noise):
+        """The batched kernel must be *bit-identical* to the
+        per-example reference — same reduction order, same noise
+        draws — so vectorization changes cost, never results."""
+        from repro.privacy.dpsgd import _privatize_gradients_loop
+
+        rng = np.random.default_rng(3)
+        grads = [
+            [rng.normal(size=(4, 3)) * scale,
+             rng.normal(size=(7,)) * scale,
+             rng.normal(size=(2, 2, 2)) * scale]
+            for scale in (0.01, 1.0, 30.0, 0.0, 5.0, 0.3)
+        ]
+        config = DpSgdConfig(clip_norm=clip_norm, noise_multiplier=noise)
+        fast = privatize_gradients(grads, config, np.random.default_rng(9))
+        slow = _privatize_gradients_loop(grads, config,
+                                         np.random.default_rng(9))
+        assert len(fast) == len(slow) == 3
+        for a, b in zip(fast, slow):
+            np.testing.assert_array_equal(a, b)
 
     def test_bad_config_raises(self):
         with pytest.raises(ValueError):

@@ -11,12 +11,15 @@ from repro import FlowTrace, NetShare, NetShareConfig, load_dataset
 from repro.baselines import EWganGp
 from repro.gan.doppelganger import DgConfig, DoppelGANger
 from repro.runtime import (
+    BACKEND_ENV_VAR,
     ChunkTask,
     MultiprocessingExecutor,
     SerialExecutor,
+    SharedMemoryExecutor,
     flatten_state,
     get_executor,
     load_state_npz,
+    resolve_backend,
     resolve_jobs,
     save_state_npz,
     train_chunk,
@@ -57,11 +60,51 @@ class TestResolveJobs:
 
     def test_get_executor_backends(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
         assert isinstance(get_executor(), SerialExecutor)
         assert isinstance(get_executor(1), SerialExecutor)
         assert isinstance(get_executor(4), MultiprocessingExecutor)
         monkeypatch.setenv("REPRO_JOBS", "2")
         assert isinstance(get_executor(), MultiprocessingExecutor)
+
+
+class TestBackendSelection:
+    def test_resolve_backend_explicit(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "serial")
+        assert resolve_backend("shm") == "shm"
+
+    def test_resolve_backend_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "shm")
+        assert resolve_backend() == "shm"
+
+    def test_resolve_backend_default_none(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend() is None
+
+    def test_resolve_backend_rejects_unknown(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        with pytest.raises(ValueError):
+            resolve_backend("threads")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "bogus")
+        with pytest.raises(ValueError):
+            resolve_backend()
+
+    def test_get_executor_named_backends(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert isinstance(get_executor(4, "serial"), SerialExecutor)
+        assert isinstance(get_executor(1, "multiprocessing"),
+                          MultiprocessingExecutor)
+        shm = get_executor(2, "shm")
+        assert isinstance(shm, SharedMemoryExecutor)
+        assert shm.uses_shared_memory
+        monkeypatch.setenv(BACKEND_ENV_VAR, "shm")
+        assert isinstance(get_executor(2), SharedMemoryExecutor)
+
+    def test_shm_map_matches_serial(self):
+        tasks = list(range(5))
+        assert (SharedMemoryExecutor(2).map_tasks(_square, tasks)
+                == SerialExecutor().map_tasks(_square, tasks))
 
 
 class TestExecutors:
@@ -143,6 +186,31 @@ class TestBackendDeterminism:
             assert sa.keys() == sb.keys()
             for key in sa:
                 np.testing.assert_array_equal(sa[key], sb[key])
+
+    def test_shm_backend_bit_identical(self, netflow, fitted_serial):
+        """The zero-copy plane changes where tensors live, not what any
+        task computes: shm-trained chunk models match serial exactly."""
+        shm = NetShare(fast_config(jobs=2, backend="shm")).fit(netflow)
+        assert shm.backend == "shm"
+        assert len(shm._chunks) == len(fitted_serial._chunks)
+        for a, b in zip(fitted_serial._chunks, shm._chunks):
+            sa, sb = a.model.state_dict(), b.model.state_dict()
+            for key in sa:
+                np.testing.assert_array_equal(sa[key], sb[key])
+
+    def test_generate_bit_identical_across_backends(self, fitted_serial):
+        """Parallel generation fans per-chunk sampling out as tasks;
+        the trace must be bit-identical on every backend."""
+        base = fitted_serial.generate(80, seed=3)
+        for backend in ("multiprocessing", "shm"):
+            alt = fitted_serial.generate(80, seed=3, jobs=2,
+                                         backend=backend)
+            for column in ("src_ip", "dst_ip", "src_port", "dst_port",
+                           "protocol", "start_time", "duration",
+                           "packets", "bytes"):
+                np.testing.assert_array_equal(
+                    getattr(base, column), getattr(alt, column),
+                    err_msg=f"{backend}:{column}")
 
     def test_wall_clock_is_measured(self, fitted_serial):
         # Serial: wall covers all tasks plus dispatch, so wall >= cpu.
@@ -243,21 +311,42 @@ class TestNetShareSaveLoad:
 class TestGenerateTopUpGuard:
     def test_all_empty_pieces_raise_cleanly(self, fitted_serial, monkeypatch):
         """Satellite bugfix: an all-empty pass must not reach
-        type(pieces[0]) — it raises a clear RuntimeError instead."""
+        type(pieces[0]) — it raises a clear RuntimeError instead.
+
+        Generation now runs through GenerateTask workers that rebuild
+        the model from its state_dict, so the degenerate model is
+        patched at the class level (the serial backend runs tasks
+        in-process, so the patch is visible to them).
+        """
         from repro.core.flow_encoder import EncodedFlows
 
-        def degenerate_generate(n, seed=None):
-            cfg = fitted_serial._chunks[0].model.config
+        def degenerate_generate(self, n, seed=None):
+            cfg = self.config
             return EncodedFlows(
                 np.zeros((n, cfg.metadata_dim)),
                 np.zeros((n, cfg.max_timesteps, cfg.measurement_dim)),
                 np.zeros((n, cfg.max_timesteps)),   # no active timestep
             )
 
-        for chunk in fitted_serial._chunks:
-            monkeypatch.setattr(chunk.model, "generate", degenerate_generate)
+        monkeypatch.setattr(DoppelGANger, "generate", degenerate_generate)
         with pytest.raises(RuntimeError, match="no records"):
             fitted_serial.generate(50, seed=1)
+
+    def test_retry_rounds_reseed_deterministically(self, fitted_serial):
+        """Satellite bugfix: every retry round derives fresh per-chunk
+        seeds from (seed, round, chunk) — rounds never repeat a
+        stream, and the derivation depends on nothing else."""
+        seen = set()
+        for round_index in range(3):
+            for chunk in fitted_serial._chunks:
+                pair = NetShare._generate_seeds(11, round_index, chunk.index)
+                assert pair not in seen
+                seen.add(pair)
+                # Pure function of its inputs.
+                assert pair == NetShare._generate_seeds(
+                    11, round_index, chunk.index)
+        assert (NetShare._generate_seeds(12, 0, 0)
+                != NetShare._generate_seeds(11, 0, 0))
 
 
 class TestEpochParallelBaseline:
