@@ -1,0 +1,141 @@
+"""Rule ``api-hygiene``: small API correctness invariants.
+
+Three checks, all cheap and all rooted in bugs this codebase cannot
+afford:
+
+* **mutable default arguments** — a ``def f(x=[])`` default is shared
+  across calls *and* across worker processes after a fork, a classic
+  source of state that differs per backend;
+* **bare ``except:``** — swallows ``KeyboardInterrupt``/``SystemExit``
+  and hides worker failures the executor needs to propagate; catch a
+  concrete exception (or ``Exception``) instead;
+* **``__all__`` drift in package ``__init__``s** — the runtime's
+  re-export surface is how tasks resolve symbols in workers; an
+  ``__all__`` entry that no longer resolves (or a public import that
+  never made it into ``__all__``) means ``from repro.x import *`` and
+  the docs disagree with the code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from .findings import Finding
+from .rules import ModuleSource, Rule, register
+
+__all__ = ["ApiHygieneRule"]
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set"})
+
+
+class ApiHygieneRule(Rule):
+    rule_id = "api-hygiene"
+    description = (
+        "no mutable default args, no bare except, package __init__ "
+        "__all__ must match its actual bindings"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        yield from self._check_defaults(module)
+        yield from self._check_bare_except(module)
+        if module.path.replace("\\", "/").endswith("__init__.py"):
+            yield from self._check_all_drift(module)
+
+    # -- mutable defaults ---------------------------------------------
+    def _check_defaults(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                mutable = isinstance(default, _MUTABLE_LITERALS) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in _MUTABLE_CALLS
+                    and not default.args and not default.keywords)
+                if mutable:
+                    yield self.finding(module, default, (
+                        f"mutable default argument in `{node.name}`: the "
+                        "default is evaluated once and shared across calls "
+                        "(and across forked workers); default to None and "
+                        "construct inside the body"
+                    ))
+
+    # -- bare except ---------------------------------------------------
+    def _check_bare_except(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(module, node, (
+                    "bare `except:` swallows KeyboardInterrupt/SystemExit "
+                    "and hides worker failures; catch a concrete exception"
+                ))
+
+    # -- __all__ drift --------------------------------------------------
+    def _check_all_drift(self, module: ModuleSource) -> Iterator[Finding]:
+        tree = module.tree
+        if not isinstance(tree, ast.Module):
+            return
+        all_node = None
+        exported: List[str] = []
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == "__all__"
+                    for t in stmt.targets):
+                all_node = stmt
+                if isinstance(stmt.value, (ast.List, ast.Tuple)):
+                    exported = [e.value for e in stmt.value.elts
+                                if isinstance(e, ast.Constant)
+                                and isinstance(e.value, str)]
+        if all_node is None:
+            return
+
+        bound: Set[str] = set()
+        imported_public: List[tuple] = []  # (name, node) from `from x import`
+        for stmt in tree.body:
+            if isinstance(stmt, ast.ImportFrom):
+                # typing/__future__ imports serve annotations, not the
+                # package API — bound, but not expected in __all__.
+                utility = stmt.module in ("typing", "typing_extensions",
+                                          "collections.abc", "__future__")
+                for alias in stmt.names:
+                    name = alias.asname or alias.name
+                    bound.add(name)
+                    if not name.startswith("_") and alias.name != "*" \
+                            and not utility:
+                        imported_public.append((name, stmt))
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                bound.add(stmt.name)
+                if not stmt.name.startswith("_"):
+                    imported_public.append((stmt.name, stmt))
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        bound.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    bound.add(stmt.target.id)
+
+        for name in exported:
+            if name not in bound:
+                yield self.finding(module, all_node, (
+                    f"__all__ drift: `{name}` is exported but never "
+                    "imported or defined in this __init__"
+                ))
+        seen = set()
+        for name, node in imported_public:
+            if name not in exported and name not in seen:
+                seen.add(name)
+                yield self.finding(module, node, (
+                    f"__all__ drift: public binding `{name}` is missing "
+                    "from __all__ (star-imports and docs won't see it)"
+                ))
+
+
+register(ApiHygieneRule)

@@ -1,0 +1,68 @@
+"""Small shared AST helpers for the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+__all__ = ["dotted_name", "terminal_name", "call_name", "walk_scopes",
+           "numpy_aliases", "decorator_names"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Return ``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The last component of a Name/Attribute chain (``np.clip`` -> ``clip``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def call_name(node: ast.AST) -> Optional[str]:
+    """Terminal name of a Call's callee, else None."""
+    if isinstance(node, ast.Call):
+        return terminal_name(node.func)
+    return None
+
+
+def numpy_aliases(tree: ast.AST) -> Tuple[str, ...]:
+    """Names the module binds to numpy (``import numpy as np`` etc.)."""
+    aliases = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.append(alias.asname or "numpy")
+    return tuple(aliases) or ("np", "numpy")
+
+
+def decorator_names(node: ast.AST) -> Tuple[str, ...]:
+    """Terminal names of a def/class's decorators (calls unwrapped)."""
+    names = []
+    for dec in getattr(node, "decorator_list", []):
+        if isinstance(dec, ast.Call):
+            dec = dec.func
+        name = terminal_name(dec)
+        if name:
+            names.append(name)
+    return tuple(names)
+
+
+def walk_scopes(tree: ast.AST) -> Iterator[ast.AST]:
+    """Yield the module and every function/class body node."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.FunctionDef,
+                             ast.AsyncFunctionDef, ast.ClassDef)):
+            yield node

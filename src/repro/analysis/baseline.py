@@ -1,0 +1,76 @@
+"""Committed-baseline support: old findings are debt, new ones fail CI.
+
+A baseline file is a JSON document mapping finding *fingerprints*
+(rule + path + normalized snippet — line-number independent, see
+:class:`~repro.analysis.findings.Finding`) to the number of matching
+findings that are grandfathered.  ``python -m repro.analysis`` drops
+up to that many matches per fingerprint and fails only on the rest, so
+a rule can be introduced with existing debt recorded rather than fixed
+— while any *new* violation of the same rule still gates CI.
+
+The repo's committed baseline (``analysis_baseline.json``) is empty
+for ``src/``: every invariant the rules encode is actually enforced,
+not aspirational.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from .findings import Finding
+
+__all__ = ["DEFAULT_BASELINE", "load_baseline", "save_baseline",
+           "apply_baseline", "baseline_counts"]
+
+#: Default baseline filename, looked up in the working directory.
+DEFAULT_BASELINE = "analysis_baseline.json"
+
+
+def baseline_counts(findings: Iterable[Finding]) -> Dict[str, int]:
+    """Fingerprint -> occurrence count for a finding set."""
+    return dict(Counter(f.fingerprint for f in findings))
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    counts = data.get("findings", {})
+    if not isinstance(counts, dict):
+        raise ValueError(f"{path}: 'findings' must be a fingerprint map")
+    return {str(k): int(v) for k, v in counts.items()}
+
+
+def save_baseline(path: str, findings: Iterable[Finding]) -> None:
+    payload = {
+        "comment": (
+            "Grandfathered repro.analysis findings. Keys are finding "
+            "fingerprints (rule|path|snippet hashes), values are how "
+            "many matching findings are tolerated. Empty = clean."
+        ),
+        "findings": baseline_counts(findings),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def apply_baseline(findings: Iterable[Finding], baseline: Dict[str, int]
+                   ) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (new, grandfathered) against a baseline."""
+    budget = dict(baseline)
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        remaining = budget.get(finding.fingerprint, 0)
+        if remaining > 0:
+            budget[finding.fingerprint] = remaining - 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old

@@ -1,0 +1,140 @@
+"""Command line interface: ``python -m repro.analysis [paths...]``.
+
+Exit status is the CI contract: 0 when every finding is baselined and
+every op check passes, 1 otherwise, 2 on usage errors.
+
+Examples::
+
+    python -m repro.analysis src/                  # lint, text output
+    python -m repro.analysis --format=json src/ tests/
+    python -m repro.analysis --check-ops           # double-backprop only
+    python -m repro.analysis --update-baseline src/   # record debt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from .rules import all_rules, rule_ids
+from .walker import check_paths
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=("AST-based invariant linter + differentiability "
+                     "graph checker for the repro codebase."),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/)")
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, metavar="PATH",
+        help=f"baseline file of grandfathered findings "
+             f"(default: {DEFAULT_BASELINE})")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file; report every finding")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json includes fingerprints and op reports)")
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--check-ops", action="store_true",
+        help="also verify every repro.nn op supports double backprop "
+             "(semantic check; imports repro.nn)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit")
+    return parser
+
+
+def _select_rules(spec: Optional[str]):
+    rules = all_rules()
+    if spec is None:
+        return rules
+    wanted = {part.strip() for part in spec.split(",") if part.strip()}
+    unknown = wanted - set(rule_ids())
+    if unknown:
+        raise SystemExit(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"available: {', '.join(rule_ids())}")
+    return [r for r in rules if r.rule_id in wanted]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id:22s} {rule.description}")
+        return 0
+
+    paths = args.paths or ["src"]
+    rules = _select_rules(args.select)
+    findings = check_paths(paths, rules=rules)
+
+    if args.update_baseline:
+        save_baseline(args.baseline, findings)
+        print(f"baseline written: {len(findings)} finding(s) "
+              f"recorded in {args.baseline}")
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    new, grandfathered = apply_baseline(findings, baseline)
+
+    op_reports = []
+    if args.check_ops:
+        from .graph_check import check_double_backprop
+        op_reports = check_double_backprop()
+    failed_ops = [r for r in op_reports if not r.ok]
+
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [f.to_dict() for f in new],
+            "grandfathered": [f.to_dict() for f in grandfathered],
+            "ops": [r.to_dict() for r in op_reports],
+            "summary": {
+                "new": len(new),
+                "grandfathered": len(grandfathered),
+                "ops_checked": len(op_reports),
+                "ops_failed": len(failed_ops),
+            },
+        }, indent=2))
+    else:
+        for finding in new:
+            print(finding.format())
+        for report in failed_ops:
+            print(f"op {report.name}: FAIL "
+                  f"(analytic={report.analytic:.6g}, "
+                  f"fd={report.finite_diff:.6g}) — {report.detail}")
+        summary = (f"{len(new)} finding(s)"
+                   + (f", {len(grandfathered)} baselined"
+                      if grandfathered else ""))
+        if op_reports:
+            summary += (f"; {len(op_reports)} op(s) checked, "
+                        f"{len(failed_ops)} failed")
+        print(summary)
+
+    return 1 if (new or failed_ops) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Finding objects: what a rule reports and how it serializes.
+
+A :class:`Finding` pins a violation to a file and line, carries the
+offending source line as a snippet, and derives a *fingerprint* that is
+stable under unrelated edits (it hashes the rule, the file, and the
+normalized snippet — not the line number), so a committed baseline
+keeps matching findings as code above them moves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, List
+
+__all__ = ["Finding", "findings_to_json", "findings_from_json"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str        # repo-relative posix path (or '<snippet>' for API callers)
+    line: int        # 1-based
+    col: int         # 0-based
+    message: str
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Location-tolerant identity used by the baseline file."""
+        payload = "|".join(
+            (self.rule_id, self.path, " ".join(self.snippet.split()))
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def format(self) -> str:
+        loc = f"{self.path}:{self.line}:{self.col + 1}"
+        text = f"{loc}: [{self.rule_id}] {self.message}"
+        if self.snippet:
+            text += f"\n    {self.snippet}"
+        return text
+
+    def to_dict(self) -> dict:
+        record = asdict(self)
+        record["fingerprint"] = self.fingerprint
+        return record
+
+
+def findings_to_json(findings: Iterable[Finding]) -> str:
+    return json.dumps([f.to_dict() for f in findings], indent=2)
+
+
+def findings_from_json(text: str) -> List[Finding]:
+    records = json.loads(text)
+    return [
+        Finding(
+            rule_id=r["rule_id"], path=r["path"], line=r["line"],
+            col=r["col"], message=r["message"], snippet=r.get("snippet", ""),
+        )
+        for r in records
+    ]

@@ -1,0 +1,134 @@
+"""Rule ``numerical-stability``: guard log/exp/division in loss code.
+
+Model outputs are unbounded; ``np.log`` of a raw probability or
+``np.exp`` of a raw logit turns one extreme sample into ``inf``/``nan``
+that poisons a whole training run or metric sweep (WGAN-GP losses are
+especially exposed — the gradient penalty squares an already-large
+norm).  In loss/metric modules, calls to ``np.log``/``np.exp`` (and
+their base-2/base-10 variants) must show a visible guard in their
+argument:
+
+* a clamping call — ``np.clip``, ``np.maximum``/``minimum``,
+  ``max``/``min``, ``abs``, ``nan_to_num``, ``clip_values``;
+* an epsilon/shift — an additive numeric constant in the expression;
+* a masked subscript (``a[mask]``) restricting the domain;
+* the inherently-stable forms ``log1p``/``expm1`` (never flagged).
+
+For a bare-name argument the rule resolves the name's most recent
+assignment in the enclosing function and inspects that expression
+instead — so the common max-shift idiom (``shifted = logits -
+logits.max(...)`` then ``np.exp(shifted)``) passes without annotation.
+
+Scope: ``repro/metrics``, ``repro/ml``, ``repro/baselines``, and
+``repro/nn/functional.py`` — the modules computing losses and metrics
+on model outputs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .astutil import numpy_aliases, terminal_name
+from .findings import Finding
+from .rules import ModuleSource, Rule, register
+
+__all__ = ["NumericalStabilityRule"]
+
+_FLAGGED = frozenset({"log", "log2", "log10", "exp", "exp2"})
+_GUARD_CALLS = frozenset({
+    "clip", "maximum", "minimum", "max", "min", "abs", "nan_to_num",
+    "clip_values", "log1p", "expm1",
+})
+_SCOPE_MARKERS = ("repro/metrics/", "repro/ml/", "repro/baselines/")
+
+
+def _contains_guard(expr: ast.AST) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            if terminal_name(node.func) in _GUARD_CALLS:
+                return True
+        elif isinstance(node, ast.Subscript):
+            return True
+        elif isinstance(node, ast.BinOp) and \
+                isinstance(node.op, (ast.Add, ast.Sub)):
+            for side in (node.left, node.right):
+                if isinstance(side, ast.Constant) and \
+                        isinstance(side.value, (int, float)):
+                    return True
+    return False
+
+
+class NumericalStabilityRule(Rule):
+    rule_id = "numerical-stability"
+    description = (
+        "np.log/np.exp on model outputs in loss/metric modules must be "
+        "guarded by clip/eps/mask (or use log1p/expm1)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        if normalized.endswith("repro/nn/functional.py"):
+            return True
+        return any(marker in normalized for marker in _SCOPE_MARKERS)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        np_names = set(numpy_aliases(module.tree))
+        parents = {}
+        for node in ast.walk(module.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[id(child)] = node
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr in _FLAGGED
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in np_names):
+                continue
+            if not node.args:
+                continue
+            arg = node.args[0]
+            if _contains_guard(arg):
+                continue
+            if isinstance(arg, ast.Name) and \
+                    self._assignment_is_guarded(arg, node, parents):
+                continue
+            yield self.finding(module, node, (
+                f"unguarded np.{func.attr} on `{ast.unparse(arg)}`: "
+                "clamp the argument (np.clip / +eps / mask) or use "
+                "log1p/expm1 — one extreme model output otherwise "
+                "poisons the whole loss/metric"
+            ))
+
+    @staticmethod
+    def _assignment_is_guarded(arg: ast.Name, call: ast.Call,
+                               parents) -> bool:
+        """Resolve the most recent prior assignment of a bare name in
+        the enclosing function and check *that* expression for guards."""
+        scope = parents.get(id(call))
+        while scope is not None and not isinstance(
+                scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+            scope = parents.get(id(scope))
+        if scope is None:
+            return False
+        best: Optional[ast.AST] = None
+        best_line = -1
+        for node in ast.walk(scope):
+            value = None
+            if isinstance(node, ast.Assign):
+                if any(isinstance(t, ast.Name) and t.id == arg.id
+                       for t in node.targets):
+                    value = node.value
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name) and \
+                        node.target.id == arg.id:
+                    value = node.value
+            if value is not None and best_line < node.lineno <= call.lineno:
+                best, best_line = value, node.lineno
+        return best is not None and _contains_guard(best)
+
+
+register(NumericalStabilityRule)

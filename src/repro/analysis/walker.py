@@ -1,0 +1,146 @@
+"""File/AST walker: collect sources, run rules, apply suppressions.
+
+The walker is the only component that touches the filesystem.  It
+expands the CLI's path arguments to ``*.py`` files (skipping fixture
+and build directories), parses each once, fans the tree through every
+rule that :meth:`~repro.analysis.rules.Rule.applies_to` the path, and
+drops findings suppressed in-source.
+
+Suppression syntax (mirrors the familiar ``noqa``/``type: ignore``):
+
+* ``# repro: ignore[rule-id]`` — suppress that rule on this line
+  (comma-separate several ids);
+* ``# repro: ignore`` — suppress every rule on this line;
+* ``# repro: ignore-file[rule-id]`` anywhere in the file — suppress
+  that rule for the whole file.
+
+A suppression comment should state the invariant that makes the code
+safe — the linter enforces the convention, the comment documents it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from .findings import Finding
+from .rules import ModuleSource, Rule, all_rules
+
+__all__ = ["iter_python_files", "check_paths", "check_source",
+           "parse_suppressions", "EXCLUDED_DIRS"]
+
+#: Directory basenames never descended into.  ``analysis_fixtures``
+#: holds deliberately-violating snippets the test suite feeds through
+#: :func:`check_source` directly.
+EXCLUDED_DIRS = frozenset({
+    "__pycache__", ".git", "build", "dist", "analysis_fixtures",
+    ".eggs",
+})
+
+_LINE_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([^\]]*)\])?")
+_FILE_RE = re.compile(r"#\s*repro:\s*ignore-file\[([^\]]*)\]")
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories to a sorted, de-duplicated .py list."""
+    seen: Set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py") and path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in EXCLUDED_DIRS and not d.endswith(".egg-info"))
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, filename)
+                if full not in seen:
+                    seen.add(full)
+                    yield full
+
+
+def parse_suppressions(text: str):
+    """Return (line -> suppressed-rule-set, file-wide-rule-set).
+
+    An empty set value means "every rule" (bare ``# repro: ignore``).
+    """
+    per_line: Dict[int, Optional[Set[str]]] = {}
+    file_wide: Set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "#" not in line:
+            continue
+        file_match = _FILE_RE.search(line)
+        if file_match:
+            file_wide.update(
+                part.strip() for part in file_match.group(1).split(",")
+                if part.strip())
+            continue
+        match = _LINE_RE.search(line)
+        if match:
+            ids = match.group(1)
+            if ids is None:
+                per_line[lineno] = None        # blanket suppression
+            elif per_line.get(lineno, set()) is not None:
+                wanted = {part.strip() for part in ids.split(",")
+                          if part.strip()}
+                per_line[lineno] = per_line.get(lineno, set()) | wanted
+    return per_line, file_wide
+
+
+def _suppressed(finding: Finding, per_line, file_wide: Set[str]) -> bool:
+    if finding.rule_id in file_wide:
+        return True
+    if finding.line in per_line:
+        rules = per_line[finding.line]
+        return rules is None or finding.rule_id in rules
+    return False
+
+
+def check_source(text: str, path: str = "<snippet>",
+                 rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
+    """Run rules over one source string (the fixture/test entry point)."""
+    chosen = list(rules) if rules is not None else all_rules()
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        return [Finding(
+            rule_id="parse-error", path=path, line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}")]
+    module = ModuleSource(path=path, text=text, tree=tree)
+    per_line, file_wide = parse_suppressions(text)
+    findings: List[Finding] = []
+    for rule in chosen:
+        if not rule.applies_to(path):
+            continue
+        for finding in rule.check(module):
+            if not _suppressed(finding, per_line, file_wide):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+def check_paths(paths: Sequence[str],
+                rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
+    """Run rules over every ``.py`` file under the given paths."""
+    chosen = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    for filepath in iter_python_files(paths):
+        try:
+            with open(filepath, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            findings.append(Finding(
+                rule_id="io-error", path=filepath.replace(os.sep, "/"),
+                line=1, col=0, message=f"cannot read file: {exc}"))
+            continue
+        rel = os.path.relpath(filepath).replace(os.sep, "/")
+        findings.extend(check_source(text, path=rel, rules=chosen))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings

@@ -23,6 +23,7 @@ __all__ = [
     "Synthesizer", "CTGAN", "EWganGp", "Stan", "PacGan", "PacketCGan",
     "FlowWgan", "Harpoon", "Swing", "NetShareSynthesizer",
     "ColumnSpec", "RowGan", "RowGanConfig",
+    "NetShare", "NetShareConfig",
     "NETFLOW_BASELINES", "PCAP_BASELINES", "make_baseline",
 ]
 

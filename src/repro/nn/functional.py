@@ -64,9 +64,18 @@ def gumbel_softmax(
     Used by the GAN generators to emit categorical fields while keeping
     the sampling step differentiable.  ``hard=True`` returns a straight-
     through one-hot (forward one-hot, backward soft).
+
+    ``rng`` is required: an implicit unseeded generator here would make
+    every categorical draw irreproducible and break the runtime's
+    bit-identical-backends contract.
     """
-    rng = rng or np.random.default_rng()
-    gumbel = -np.log(-np.log(rng.uniform(1e-12, 1.0, size=logits.shape)))
+    if rng is None:
+        raise ValueError(
+            "gumbel_softmax needs an explicit seeded np.random.Generator; "
+            "an implicit RNG would break reproducibility")
+    # The uniform draw is bounded to [1e-12, 1), keeping both logs finite.
+    gumbel = -np.log(-np.log(  # repro: ignore[numerical-stability]
+        rng.uniform(1e-12, 1.0, size=logits.shape)))
     soft = softmax((logits + Tensor(gumbel)) * (1.0 / temperature), axis=-1)
     if not hard:
         return soft

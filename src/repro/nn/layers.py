@@ -221,7 +221,16 @@ class GRU(Module):
 
 class LSTMCell(Module):
     """Long short-term memory cell (the original DoppelGANger's RNN;
-    this repo's default GAN uses the cheaper GRU)."""
+    this repo's default GAN uses the cheaper GRU).
+
+    The four gate projections are fused into one ``(I+H, 4H)`` weight,
+    so a step costs a single matmul instead of four.  Unlike the GRU
+    fusion no correction term is needed: every LSTM gate — candidate
+    included — sees the same plain ``[x, h]`` concat, so the fused
+    product column-sliced per gate is the unfused computation exactly.
+    Gate order is [input | forget | output | candidate], matching the
+    per-gate rng draw order of the original unfused layout.
+    """
 
     def __init__(self, input_size: int, hidden_size: int,
                  rng: Optional[np.random.Generator] = None):
@@ -230,23 +239,28 @@ class LSTMCell(Module):
         self.input_size = input_size
         self.hidden_size = hidden_size
         concat_size = input_size + hidden_size
-        self.w_i = Parameter(_glorot(rng, concat_size, hidden_size))
-        self.b_i = Parameter(np.zeros(hidden_size))
-        self.w_f = Parameter(_glorot(rng, concat_size, hidden_size))
-        self.b_f = Parameter(np.ones(hidden_size))  # forget-gate bias 1
-        self.w_o = Parameter(_glorot(rng, concat_size, hidden_size))
-        self.b_o = Parameter(np.zeros(hidden_size))
-        self.w_c = Parameter(_glorot(rng, concat_size, hidden_size))
-        self.b_c = Parameter(np.zeros(hidden_size))
+        self.w_gates = Parameter(np.hstack([
+            _glorot(rng, concat_size, hidden_size) for _ in range(4)
+        ]))
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size:2 * hidden_size] = 1.0  # forget-gate bias 1
+        self.b_gates = Parameter(bias)
+
+    @property
+    def b_f(self) -> Tensor:
+        """Forget-gate bias slice (kept for checkpoint introspection)."""
+        return self.b_gates[self.hidden_size:2 * self.hidden_size]
 
     def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]
                 ) -> Tuple[Tensor, Tensor]:
+        hidden = self.hidden_size
         h, c = state
         xh = concatenate([x, h], axis=-1)
-        i = (xh @ self.w_i + self.b_i).sigmoid()
-        f = (xh @ self.w_f + self.b_f).sigmoid()
-        o = (xh @ self.w_o + self.b_o).sigmoid()
-        candidate = (xh @ self.w_c + self.b_c).tanh()
+        pre = xh @ self.w_gates + self.b_gates
+        i = pre[:, :hidden].sigmoid()
+        f = pre[:, hidden:2 * hidden].sigmoid()
+        o = pre[:, 2 * hidden:3 * hidden].sigmoid()
+        candidate = pre[:, 3 * hidden:].tanh()
         c_new = f * c + i * candidate
         h_new = o * c_new.tanh()
         return h_new, c_new

@@ -33,7 +33,7 @@ import hashlib
 import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -41,6 +41,10 @@ from ..core.flow_encoder import EncodedFlows
 from ..gan.doppelganger import DgConfig, DoppelGANger, TrainingLog
 from ..privacy.dpsgd import DpSgdConfig
 from .shm import ArrayRef, SharedArena, SharedEncodedFlows, read_shared_bytes
+
+if TYPE_CHECKING:  # runtime import would be circular (rowgan -> netshare
+    # -> chunk_tasks); annotations are strings under future-annotations.
+    from ..baselines.rowgan import ColumnSpec, RowGanConfig
 
 __all__ = [
     "FrozenState",
@@ -330,8 +334,8 @@ class RowGanTask:
     """Train one RowGan on one epoch's rows."""
 
     index: int
-    columns: List[Any]            # Sequence[ColumnSpec]
-    config: Any                   # RowGanConfig
+    columns: List[ColumnSpec]
+    config: RowGanConfig
     seed: int
     rows: Union[np.ndarray, ArrayRef]
     epochs: int
@@ -365,8 +369,8 @@ class RowGanSampleTask:
     """Draw ``n_rows`` from one trained RowGan (epoch-parallel sampling)."""
 
     index: int
-    columns: List[Any]
-    config: Any
+    columns: List[ColumnSpec]
+    config: RowGanConfig
     seed: int                     # model construction seed
     state: Union[Dict[str, np.ndarray], FrozenState]
     n_rows: int

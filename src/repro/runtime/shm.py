@@ -178,6 +178,11 @@ class SharedArena:
     def __init__(self, prefix: str = "repro"):
         self._prefix = prefix
         self._blocks: Dict[str, shared_memory.SharedMemory] = {}
+        # Staged payload bytes per block (ArrayRef.nbytes, NOT the OS
+        # block size: that is floored at 1 byte for empty arrays and
+        # page-rounded on some platforms, which would skew the
+        # dispatch-byte metric in BENCH_runtime.json).
+        self._nbytes: Dict[str, int] = {}
         self._finalizer = weakref.finalize(self, _release, self._blocks)
 
     # -- creation ------------------------------------------------------
@@ -191,8 +196,10 @@ class SharedArena:
         view[...] = array
         self._blocks[name] = block
         _OWNED_BLOCKS[name] = block
-        return ArrayRef(name=name, shape=tuple(array.shape),
-                        dtype=array.dtype.str)
+        ref = ArrayRef(name=name, shape=tuple(array.shape),
+                       dtype=array.dtype.str)
+        self._nbytes[name] = ref.nbytes
+        return ref
 
     def share_bytes(self, payload: bytes) -> ArrayRef:
         """Place an opaque byte-blob (e.g. a pickled state) in a block."""
@@ -213,8 +220,10 @@ class SharedArena:
 
     @property
     def shared_bytes(self) -> int:
-        """Total payload bytes currently resident in the arena."""
-        return sum(block.size for block in self._blocks.values())
+        """Total *staged payload* bytes currently resident: the sum of
+        every live block's ``ArrayRef.nbytes``.  Matches what workers
+        can actually attach, independent of OS block-size rounding."""
+        return sum(self._nbytes.get(name, 0) for name in self._blocks)
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:

@@ -1,0 +1,10 @@
+"""Positive fixture: exactly one `api-hygiene` finding.
+
+The shared mutable default differs across forked workers once any call
+mutates it.
+"""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,17 @@
+"""Negative fixture: None defaults, concrete exception types."""
+
+from typing import List, Optional
+
+
+def collect(item, bucket: Optional[List] = None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def parse(text):
+    try:
+        return int(text)
+    except ValueError:
+        return None

@@ -1,0 +1,11 @@
+"""Positive fixture: exactly one `determinism` finding.
+
+The global-state draw depends on process-global call order, which the
+serial/multiprocessing/shm backends do not share.
+"""
+
+import numpy as np
+
+
+def jitter(values):
+    return values + np.random.rand(len(values))

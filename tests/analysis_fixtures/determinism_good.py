@@ -1,0 +1,16 @@
+"""Negative fixture: explicit seeded Generators, perf_counter timing."""
+
+import time
+
+import numpy as np
+
+
+def jitter(values, seed):
+    rng = np.random.default_rng(seed)
+    return values + rng.uniform(size=len(values))
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

@@ -1,0 +1,12 @@
+"""Positive fixture: exactly one `numerical-stability` finding.
+
+Fed through check_source with a synthetic loss-module path (the rule
+only applies inside repro/metrics, repro/ml, repro/baselines, and
+repro/nn/functional.py).
+"""
+
+import numpy as np
+
+
+def poisson_nll(rate, observed):
+    return float(np.mean(rate - observed * np.log(rate)))

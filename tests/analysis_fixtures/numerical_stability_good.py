@@ -1,0 +1,21 @@
+"""Negative fixture: every log/exp shows a visible guard."""
+
+import numpy as np
+
+
+def poisson_nll(rate, observed):
+    return float(np.mean(rate - observed * np.log(rate + 1e-12)))
+
+
+def entropy(p):
+    return float(-np.sum(p * np.log(np.clip(p, 1e-12, 1.0))))
+
+
+def softmax(logits):
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    weights = np.exp(shifted)       # max-shift idiom: bounded above by 0
+    return weights / weights.sum(axis=-1, keepdims=True)
+
+
+def masked_log(values, mask):
+    return np.log(values[mask])     # subscript restricts the domain

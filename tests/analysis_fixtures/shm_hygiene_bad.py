@@ -1,0 +1,12 @@
+"""Positive fixture: exactly one `shm-hygiene` finding.
+
+The arena is constructed, used, and dropped — nothing ever unlinks its
+blocks, so the shared memory outlives the process.
+"""
+
+from repro.runtime import SharedArena
+
+
+def stage(arrays):
+    arena = SharedArena()
+    return [arena.share_array(a).name for a in arrays]

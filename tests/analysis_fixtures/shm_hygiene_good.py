@@ -1,0 +1,26 @@
+"""Negative fixture: every arena lifetime is visibly managed."""
+
+from repro.runtime import SharedArena
+
+
+def stage_with(arrays):
+    with SharedArena() as arena:
+        names = [arena.share_array(a).name for a in arrays]
+    return names
+
+
+def stage_finally(arrays):
+    arena = SharedArena()
+    try:
+        return [arena.share_array(a).name for a in arrays]
+    finally:
+        arena.close()
+
+
+def make_arena():
+    return SharedArena()  # factory: the caller takes ownership
+
+
+class Registry:
+    def __init__(self):
+        self.arena = SharedArena()  # ownership handed to the registry

@@ -1,0 +1,14 @@
+"""Positive fixture: exactly one `task-statelessness` finding.
+
+A callable field captures closures that do not pickle — the task would
+dispatch fine on the serial backend and explode on multiprocessing.
+"""
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class BrokenTask:
+    chunk_id: int
+    fn: Callable[[int], int]

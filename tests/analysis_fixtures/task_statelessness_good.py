@@ -1,0 +1,20 @@
+"""Negative fixture: every field is stateless, picklable payload."""
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.shm import ArrayRef
+
+
+@dataclass(frozen=True)
+class CleanTask:
+    chunk_id: int
+    seed: int
+    label: str
+    payload: np.ndarray
+    manifest: Optional[ArrayRef]
+    state: Dict[str, Any]          # Any is fine *inside* a container
+    bounds: Tuple[float, float]
+    extra: "Optional[bytes]"       # string annotations are parsed too

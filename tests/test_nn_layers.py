@@ -296,3 +296,42 @@ class TestLSTM:
 
         cell = LSTMCell(2, 4)
         np.testing.assert_allclose(cell.b_f.data, 1.0)
+        # Only the forget slice of the fused bias is 1.
+        np.testing.assert_allclose(cell.b_gates.data[4:8], 1.0)
+        np.testing.assert_allclose(cell.b_gates.data[:4], 0.0)
+        np.testing.assert_allclose(cell.b_gates.data[8:], 0.0)
+
+    def test_fused_gates_match_unfused_reference_bitwise(self):
+        """The (I+H, 4H) fused step must reproduce four separate
+        per-gate matmuls bit for bit: unlike GRU there is no
+        correction term — every gate sees the same [x, h] concat — so
+        any divergence at all would mean the fusion changed the math."""
+        from repro.nn import LSTMCell, tensor
+        import numpy as np
+
+        def unfused_step(cell, x, h, c):
+            hs = cell.hidden_size
+            xh = np.concatenate([x, h], axis=-1)
+            w = cell.w_gates.data
+            b = cell.b_gates.data
+            gates = [xh @ w[:, k * hs:(k + 1) * hs] + b[k * hs:(k + 1) * hs]
+                     for k in range(4)]
+
+            def sigmoid(z):  # mirrors Tensor.sigmoid, clip included
+                return 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+
+            i, f, o = (sigmoid(g) for g in gates[:3])
+            candidate = np.tanh(gates[3])
+            c_new = f * c + i * candidate
+            return o * np.tanh(c_new), c_new
+
+        rng = np.random.default_rng(42)
+        cell = LSTMCell(3, 8, rng=np.random.default_rng(7))
+        x_seq = rng.normal(size=(4, 5, 3))
+        h, c = cell.initial_state(4)
+        h_ref, c_ref = h.data.copy(), c.data.copy()
+        for t in range(5):
+            h, c = cell(tensor(x_seq[:, t, :]), (h, c))
+            h_ref, c_ref = unfused_step(cell, x_seq[:, t, :], h_ref, c_ref)
+            np.testing.assert_array_equal(h.data, h_ref)
+            np.testing.assert_array_equal(c.data, c_ref)

@@ -44,6 +44,26 @@ class TestArrayRef:
             ref = arena.share_bytes(payload)
             assert read_shared_bytes(ref) == payload
 
+    def test_shared_bytes_matches_staged_refs(self):
+        """The arena's byte accounting is the sum of the staged blocks'
+        ArrayRef.nbytes — the number BENCH_runtime.json's dispatch-byte
+        metric divides by — not OS block sizes (floored at 1 byte for
+        empty arrays, page-rounded on some platforms)."""
+        arrays = [
+            np.arange(24, dtype=np.float64).reshape(4, 6),
+            np.zeros((0, 7), dtype=np.float32),      # empty: 0 payload bytes
+            np.ones(5, dtype=np.int16),
+        ]
+        payload = b"state-blob" * 33
+        with SharedArena() as arena:
+            assert arena.shared_bytes == 0
+            refs = [arena.share_array(a) for a in arrays]
+            refs.append(arena.share_bytes(payload))
+            assert [r.nbytes for r in refs[:3]] == [a.nbytes for a in arrays]
+            assert refs[3].nbytes == len(payload)
+            assert arena.shared_bytes == sum(r.nbytes for r in refs)
+        assert arena.shared_bytes == 0  # everything unlinked on exit
+
     def test_encoded_flows_round_trip(self):
         rng = np.random.default_rng(0)
         encoded = EncodedFlows(
@@ -108,7 +128,9 @@ class TestArenaLifecycle:
 
     def test_finalizer_backstop(self):
         """Arenas abandoned without a with-block still unlink on gc."""
-        arena = SharedArena()
+        # Deliberately unmanaged: this test IS the weakref.finalize
+        # backstop's regression test.
+        arena = SharedArena()  # repro: ignore[shm-hygiene]
         name = arena.share_array(np.ones(4)).name
         assert block_exists(name)
         del arena
