@@ -24,17 +24,22 @@ from __future__ import annotations
 import json
 import os
 import platform
+import shutil
+import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro import NetShare, NetShareConfig
+from repro import NetShare, NetShareConfig, telemetry
 from repro.datasets import load_dataset
 from repro.runtime import BACKENDS, MEASURE_DISPATCH_ENV_VAR
+from repro.telemetry import load_journal
+from repro.telemetry.spans import span
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_runtime.json"
+JOURNAL_DIR = REPO_ROOT / "BENCH_journal"
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE", "").strip())
 RECORDS = 240 if SMOKE else 600
@@ -59,6 +64,22 @@ def _config(backend: str, jobs: int) -> NetShareConfig:
 def _trace_equal(a, b) -> bool:
     return all(np.array_equal(getattr(a, col), getattr(b, col))
                for col in TRACE_COLUMNS)
+
+
+def _walk(node):
+    yield node
+    for child in node.get("children", ()):
+        yield from _walk(child)
+
+
+def _noop_span_ns(iterations: int = 50_000) -> float:
+    """Cost of one disabled span() call (telemetry must be off)."""
+    assert not telemetry.enabled()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with span("bench.noop"):
+            pass
+    return (time.perf_counter() - start) / iterations * 1e9
 
 
 @pytest.fixture(scope="module")
@@ -136,9 +157,57 @@ def bench():
             "fit_bit_identical": fit_identical,
             "generate_bit_identical": gen_identical,
         }
+        # -- telemetry: overhead, parity, journal coverage -------------
+        # Re-run the multiprocessing fit+generate with a live journal
+        # and compare wall clock against the telemetry-off runs above.
+        noop_ns = _noop_span_ns()
+        if JOURNAL_DIR.exists():
+            shutil.rmtree(JOURNAL_DIR)
+        with telemetry.session(journal_dir=JOURNAL_DIR,
+                               label="bench-runtime") as journal:
+            model_telem = NetShare(_config("multiprocessing", JOBS)).fit(trace)
+            trace_telem = model_telem.generate(GEN_RECORDS, seed=7)
+            journal_path = journal.directory
+        telem_identical = all(
+            np.array_equal(sa[key], sb[key])
+            for a, b in zip(models["multiprocessing"]._chunks,
+                            model_telem._chunks)
+            for sa, sb in [(a.model.state_dict(), b.model.state_dict())]
+            for key in sa
+        ) and _trace_equal(traces[f"multiprocessing_jobs{JOBS}"], trace_telem)
+
+        _, events = load_journal(journal_path)
+        trained = sorted({
+            node["attrs"]["chunk"]
+            for event in events if event.get("event") == "span"
+            for node in _walk(event["span"])
+            if node.get("name") == "train_chunk"
+        })
+        expected = sorted({e["chunk"] for e in events
+                           if e.get("event") == "chunk_result"})
+
+        off_wall = (report["fit"]["multiprocessing"]["wall_seconds"]
+                    + report["generate"][
+                        f"multiprocessing_jobs{JOBS}"]["wall_seconds"])
+        on_wall = (model_telem.wall_seconds
+                   + model_telem.generate_wall_seconds)
+        report["telemetry"] = {
+            "journal": str(journal_path.relative_to(REPO_ROOT)),
+            "journal_events": len(events),
+            "chunks_traced": trained,
+            "chunks_expected": expected,
+            "bit_identical_with_telemetry": telem_identical,
+            "wall_seconds_off": round(off_wall, 3),
+            "wall_seconds_on": round(on_wall, 3),
+            "overhead_pct": round(
+                (on_wall - off_wall) / max(off_wall, 1e-9) * 100, 2),
+            "disabled_span_ns": round(noop_ns, 1),
+        }
+
         OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
         print(f"\nwrote {OUTPUT_PATH}")
         print(json.dumps(report["summary"], indent=2))
+        print(json.dumps(report["telemetry"], indent=2))
         return {"report": report, "models": models, "traces": traces}
     finally:
         if previous is None:
@@ -176,8 +245,32 @@ class TestRuntimePerf:
 
     def test_report_written(self, bench):
         data = json.loads(OUTPUT_PATH.read_text())
-        assert set(data) >= {"config", "cpus", "fit", "generate", "summary"}
+        assert set(data) >= {"config", "cpus", "fit", "generate", "summary",
+                             "telemetry"}
         assert set(data["fit"]) == set(BACKENDS)
         for entry in data["fit"].values():
             assert entry["dispatch_bytes"] > 0
             assert entry["dispatch_tasks"] >= N_CHUNKS - 1
+
+    def test_telemetry_does_not_change_outputs(self, bench):
+        """Acceptance: chunk weights and the generated trace are
+        bitwise identical with the journal on or off."""
+        assert bench["report"]["telemetry"]["bit_identical_with_telemetry"]
+
+    def test_journal_covers_every_chunk(self, bench):
+        """The spliced span tree must contain a train_chunk span for
+        every chunk the fit reported a result for."""
+        telem = bench["report"]["telemetry"]
+        assert telem["chunks_traced"] == telem["chunks_expected"]
+        assert len(telem["chunks_traced"]) == N_CHUNKS
+        assert telem["journal_events"] > 0
+
+    def test_disabled_telemetry_is_cheap(self, bench):
+        """A disabled span() must stay in the sub-microsecond range —
+        effectively unmeasurable against a training step."""
+        assert bench["report"]["telemetry"]["disabled_span_ns"] < 5_000
+
+    @pytest.mark.skipif(SMOKE, reason="overhead gate too noisy at "
+                        "smoke scale (sub-second walls)")
+    def test_telemetry_overhead_under_5pct(self, bench):
+        assert bench["report"]["telemetry"]["overhead_pct"] < 5.0

@@ -16,7 +16,8 @@ Subpackages: ``core`` (NetShare pipeline), ``gan`` (DoppelGANger),
 ``metrics`` (JSD/EMD/rank/consistency), ``privacy`` (DP-SGD + RDP
 accountant), ``sketches`` (CMS/CS/UnivMon/NitroSketch), ``ml``
 (classifier suite), ``netml`` (anomaly detection), ``tasks``
-(downstream-task harnesses), ``nn`` (autograd substrate).
+(downstream-task harnesses), ``nn`` (autograd substrate),
+``telemetry`` (run journal, metrics, and trace spans).
 """
 
 from .core import NetShare, NetShareConfig

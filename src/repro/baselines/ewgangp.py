@@ -31,6 +31,8 @@ from ..runtime.chunk_tasks import (
     train_rowgan,
 )
 from ..runtime.shm import maybe_arena
+from ..telemetry import emit_event
+from ..telemetry.spans import span as _span
 from .base import Synthesizer
 from .rowgan import ColumnSpec, RowGan, RowGanConfig
 
@@ -119,8 +121,13 @@ class EWganGp(Synthesizer):
         # task's seed is derived from the epoch index, never from
         # scheduling order, so results are backend-independent.
         buckets = self._epoch_buckets(trace.start_time)
-        executor = self._executor()
-        with maybe_arena(executor) as arena:
+        with self._executor() as executor, \
+                _span("ewgangp.fit", backend=executor.name,
+                      epochs=len(buckets)), \
+                maybe_arena(executor) as arena:
+            emit_event("fit_start", model="ewgangp", backend=executor.name,
+                       jobs=executor.jobs, n_chunks=len(buckets),
+                       records=len(trace))
             stage = (arena.share_array if arena is not None
                      else (lambda block: block))
             tasks = [
@@ -140,6 +147,8 @@ class EWganGp(Synthesizer):
             self._gans.append((gan, n_rows))
             self.train_seconds += result.train_seconds
         self._gan = self._gans[0][0]
+        emit_event("fit_end", model="ewgangp",
+                   cpu_seconds=self.train_seconds)
         return self
 
     def _epoch_buckets(self, start_time: np.ndarray) -> List[np.ndarray]:
@@ -182,8 +191,10 @@ class EWganGp(Synthesizer):
             if counts.sum() >= n_records:
                 break
             counts[i] += 1
-        executor = self._executor()
-        with maybe_arena(executor) as arena:
+        with self._executor() as executor, \
+                _span("ewgangp.sample", backend=executor.name,
+                      target=n_records), \
+                maybe_arena(executor) as arena:
             tasks = [
                 RowGanSampleTask(
                     index=b,

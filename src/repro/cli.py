@@ -24,7 +24,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import NetShare, NetShareConfig
+from . import NetShare, NetShareConfig, telemetry
 from .baselines import make_baseline
 from .runtime import BACKENDS
 from .datasets import (
@@ -88,6 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--save-model", default=None, metavar="PATH",
                    help="persist the trained NetShare model to a .npz "
                         "archive (NetShare only)")
+    p.add_argument("--journal", default=None, metavar="DIR",
+                   help="stream a telemetry run journal (events.jsonl) "
+                        "to DIR/<run-id>/; inspect it with "
+                        "'python -m repro.telemetry report DIR'")
 
     p = sub.add_parser("generate",
                        help="sample from a saved NetShare model (.npz)")
@@ -101,6 +105,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=list(BACKENDS), default=None,
                    help="executor backend for sampling (output is "
                         "bit-identical across backends)")
+    p.add_argument("--journal", default=None, metavar="DIR",
+                   help="stream a telemetry run journal to DIR/<run-id>/")
 
     p = sub.add_parser("evaluate", help="fidelity report real vs synthetic")
     p.add_argument("real", help="real trace CSV")
@@ -138,6 +144,16 @@ def _cmd_dataset(args) -> int:
 
 
 def _cmd_synthesize(args) -> int:
+    if args.journal:
+        with telemetry.session(journal_dir=args.journal,
+                               label=f"synthesize:{args.model}") as journal:
+            code = _run_synthesize(args)
+            print(f"journal: {journal.directory}")
+        return code
+    return _run_synthesize(args)
+
+
+def _run_synthesize(args) -> int:
     trace = _read_trace(args.input, args.kind)
     n_out = args.records or len(trace)
     if args.model == "NetShare":
@@ -168,6 +184,16 @@ def _cmd_synthesize(args) -> int:
 
 
 def _cmd_generate(args) -> int:
+    if args.journal:
+        with telemetry.session(journal_dir=args.journal,
+                               label="generate") as journal:
+            code = _run_generate(args)
+            print(f"journal: {journal.directory}")
+        return code
+    return _run_generate(args)
+
+
+def _run_generate(args) -> int:
     model = NetShare.load(args.model)
     synthetic = model.generate(args.records, seed=args.seed,
                                jobs=args.jobs, backend=args.backend)

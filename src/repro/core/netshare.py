@@ -45,6 +45,9 @@ from ..runtime.chunk_tasks import (
 )
 from ..runtime.serialization import load_state_npz, save_state_npz
 from ..runtime.shm import maybe_arena
+from ..telemetry import emit_event
+from ..telemetry.spans import span
+from ..telemetry.state import STATE as _TELEMETRY
 from .flow_encoder import FlowTensorEncoder
 from .ip2vec import IP2Vec, five_tuple_sentences
 from .preprocess import chunk_flows, split_into_flows, time_range
@@ -211,21 +214,29 @@ class NetShare:
         encoded = {c: self._encoder.encode_chunk(flows, window)
                    for c, flows, window in occupied}
 
-        executor = get_executor(cfg.jobs, cfg.backend)
-        self.backend = executor.name
         results: Dict[int, ChunkResult] = {}
+        modes: Dict[int, str] = {}
         wall_start = time.perf_counter()
         # Zero-copy data plane: under the shm backend the encoded chunk
         # tensors (and any warm-start state) live in a SharedArena for
         # the duration of the dispatch — tasks carry manifests, workers
         # attach, and the arena unlinks every block on exit no matter
-        # how training ends.
-        with maybe_arena(executor) as arena:
+        # how training ends.  The executor's worker pool lives for the
+        # same window (closed by the ``with``).
+        with get_executor(cfg.jobs, cfg.backend) as executor, \
+                span("netshare.fit", backend=executor.name,
+                     n_chunks=len(occupied)), \
+                maybe_arena(executor) as arena:
+            self.backend = executor.name
+            emit_event("fit_start", model="netshare",
+                       backend=executor.name, jobs=executor.jobs,
+                       n_chunks=len(occupied), records=len(trace))
             staged = ({c: arena.share_encoded(e) for c, e in encoded.items()}
                       if arena is not None else encoded)
 
             def make_task(c: int, epochs: int, mode: str,
                           init_state=None) -> ChunkTask:
+                modes[c] = mode
                 return ChunkTask(
                     chunk_index=c, encoded=staged[c], gan_config=gan_config,
                     seed=cfg.seed + c, epochs=epochs, mode=mode,
@@ -251,6 +262,7 @@ class NetShare:
                 seed_index = occupied[0][0]
                 seed_result = train_chunk(
                     make_task(seed_index, cfg.epochs_seed, "fit"))
+                modes[seed_index] = "seed"
                 init = freeze_state(seed_result.state, arena)
                 tasks = [make_task(c, cfg.epochs_fine_tune, "fine_tune",
                                    init)
@@ -262,11 +274,16 @@ class NetShare:
                 tasks = [make_task(c, cfg.epochs_seed, "fit")
                          for c, _, _ in occupied]
                 batch = executor.map_tasks(train_chunk, tasks)
-        self.wall_seconds = time.perf_counter() - wall_start
-        self.dispatch_bytes = executor.dispatch_bytes
-        self.dispatch_tasks = executor.dispatch_tasks
+            self.wall_seconds = time.perf_counter() - wall_start
+            self.dispatch_bytes = executor.dispatch_bytes
+            self.dispatch_tasks = executor.dispatch_tasks
         for result in batch:
             results[result.chunk_index] = result
+            emit_event("chunk_result", chunk=result.chunk_index,
+                       mode=modes.get(result.chunk_index),
+                       train_seconds=result.train_seconds,
+                       epochs=len(result.log.d_loss),
+                       steps=result.log.steps)
 
         self._chunks = []
         for c, flows, window in occupied:
@@ -281,6 +298,10 @@ class NetShare:
             sum(r.train_seconds for r in results.values()))
         if cfg.dp is not None:
             self.spent_epsilon = self._account_epsilon()
+        emit_event("fit_end", model="netshare", backend=self.backend,
+                   wall_seconds=self.wall_seconds,
+                   cpu_seconds=self.cpu_seconds,
+                   epsilon=self.spent_epsilon)
         return self
 
     def _pretrain_public(self):
@@ -312,8 +333,14 @@ class NetShare:
             sampling = min(1.0, cfg.batch_size / max(chunk.n_flows, 1))
             if cfg.dp.noise_multiplier <= 0:
                 return float("inf")
+            steps = model.log.steps * model.config.n_critic
             accountant.step(cfg.dp.noise_multiplier, sampling,
-                            num_steps=model.log.steps * model.config.n_critic)
+                            num_steps=steps)
+            if _TELEMETRY.enabled:
+                # Cumulative ε after each chunk: the report CLI renders
+                # this as the run's privacy trajectory.
+                emit_event("dp_epsilon", chunk=chunk.index, steps=steps,
+                           epsilon=accountant.get_epsilon(cfg.dp.delta))
         return accountant.get_epsilon(cfg.dp.delta)
 
     # ------------------------------------------------------------------
@@ -438,8 +465,6 @@ class NetShare:
             raise ValueError("must generate at least one record")
         cfg = self.config
         base_seed = int(cfg.seed if seed is None else seed)
-        executor = get_executor(cfg.jobs if jobs is None else jobs,
-                                cfg.backend if backend is None else backend)
         rng = np.random.default_rng(base_seed)
         total_records = sum(c.n_records for c in self._chunks)
         gan_config = self._gan_config(self._encoder)
@@ -460,8 +485,21 @@ class NetShare:
             for c in self._chunks
         }
         shortfall = n_records
+        # Per-round accept/reject diagnostics: kept unconditionally (it
+        # is a handful of dicts) so the exhaustion error below can say
+        # *what happened each round*, and journaled as generate_round
+        # events when telemetry is on.
+        rounds_log: List[Dict[str, float]] = []
         wall_start = time.perf_counter()
-        with maybe_arena(executor) as arena:
+        with get_executor(cfg.jobs if jobs is None else jobs,
+                          cfg.backend if backend is None else backend
+                          ) as executor, \
+                span("netshare.generate", backend=executor.name,
+                     target=n_records), \
+                maybe_arena(executor) as arena:
+            emit_event("generate_start", model="netshare",
+                       backend=executor.name, jobs=executor.jobs,
+                       target=n_records, chunks=len(self._chunks))
             if arena is not None:
                 encoder_state = freeze_state(encoder_state, arena)
                 model_states = {i: freeze_state(s, arena)
@@ -481,6 +519,8 @@ class NetShare:
                         n_flows=n_flows, sample_seed=sample_seed,
                         decode_seed=decode_seed,
                     ))
+                accepted = 0
+                round_records = 0
                 for piece in executor.map_tasks(generate_chunk, tasks):
                     # A degenerate model can emit flows whose every
                     # timestep is inactive; the task reports those as
@@ -488,20 +528,38 @@ class NetShare:
                     # concatenate below.
                     if piece.trace is None:
                         continue
+                    accepted += 1
+                    round_records += len(piece.trace)
                     pieces.append(piece.trace)
                     produced += len(piece.trace)
                     rpf_estimate[piece.chunk_index] = max(
                         len(piece.trace) / piece.n_flows, 1.0)
                 shortfall = n_records - produced
+                rounds_log.append({
+                    "round": round_index, "tasks": len(tasks),
+                    "accepted": accepted,
+                    "rejected": len(tasks) - accepted,
+                    "records": round_records, "shortfall": max(shortfall, 0),
+                })
+                emit_event("generate_round", **rounds_log[-1])
                 if shortfall <= 0:
                     break
-        self.generate_wall_seconds = time.perf_counter() - wall_start
-        self.generate_dispatch_bytes = executor.dispatch_bytes
+            self.generate_wall_seconds = time.perf_counter() - wall_start
+            self.generate_dispatch_bytes = executor.dispatch_bytes
+        emit_event("generate_end", model="netshare",
+                   wall_seconds=self.generate_wall_seconds,
+                   records=produced, rounds=len(rounds_log))
         if not pieces:
+            per_round = "; ".join(
+                f"round {entry['round']}: {entry['accepted']}/{entry['tasks']}"
+                " chunks accepted, "
+                f"{entry['rejected']} rejected, +{entry['records']} records"
+                for entry in rounds_log)
             raise RuntimeError(
-                "generation produced no records: every chunk model decoded "
-                "to an empty trace (degenerate generator?); retrain with "
-                "more epochs or a different seed")
+                "generation produced no records after "
+                f"{len(rounds_log)} rounds: every chunk model decoded to an "
+                f"empty trace (degenerate generator?) [{per_round}]; "
+                "retrain with more epochs or a different seed")
         trace = type(pieces[0]).concatenate(pieces)
         if isinstance(trace, PacketTrace):
             trace = finalize_packet_trace(trace, rng=rng)

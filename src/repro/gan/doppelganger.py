@@ -31,6 +31,9 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.flow_encoder import EncodedFlows
+from ..telemetry import emit_event
+from ..telemetry.spans import span
+from ..telemetry.state import STATE as _TELEMETRY
 from ..nn import (
     Adam,
     Dense,
@@ -387,18 +390,28 @@ class DoppelGANger:
         # Small chunks would otherwise see almost no updates per epoch;
         # floor the step count so training effort scales sensibly.
         steps_per_epoch = max(2, n // self.config.batch_size)
-        for epoch in range(epochs):
-            d_losses, g_losses = [], []
-            for _ in range(steps_per_epoch):
-                for _ in range(self.config.n_critic):
-                    d_losses.append(self._disc_step(data, self.config.batch_size))
-                g_losses.append(self._gen_step(self.config.batch_size))
-                self.log.steps += 1
-            self.log.d_loss.append(float(np.mean(d_losses)))
-            self.log.g_loss.append(float(np.mean(g_losses)))
-            if verbose:
-                print(f"epoch {epoch}: D={self.log.d_loss[-1]:.4f} "
-                      f"G={self.log.g_loss[-1]:.4f}")
+        with span("dg.fit", epochs=epochs, records=n):
+            for epoch in range(epochs):
+                epoch_start = time.perf_counter()
+                d_losses, g_losses = [], []
+                for _ in range(steps_per_epoch):
+                    for _ in range(self.config.n_critic):
+                        d_losses.append(
+                            self._disc_step(data, self.config.batch_size))
+                    g_losses.append(self._gen_step(self.config.batch_size))
+                    self.log.steps += 1
+                self.log.d_loss.append(float(np.mean(d_losses)))
+                self.log.g_loss.append(float(np.mean(g_losses)))
+                if _TELEMETRY.enabled:
+                    _TELEMETRY.registry.histogram(
+                        "gan.epoch_seconds").observe(
+                        time.perf_counter() - epoch_start)
+                    emit_event("epoch", model="doppelganger", epoch=epoch,
+                               d_loss=self.log.d_loss[-1],
+                               g_loss=self.log.g_loss[-1])
+                if verbose:
+                    print(f"epoch {epoch}: D={self.log.d_loss[-1]:.4f} "
+                          f"G={self.log.g_loss[-1]:.4f}")
         self.log.wall_seconds += time.perf_counter() - start
         return self.log
 
@@ -424,19 +437,29 @@ class DoppelGANger:
         start = time.perf_counter()
         n = len(data)
         steps_per_epoch = max(2, n // self.config.batch_size)
-        for _ in range(epochs):
-            d_losses, g_losses = [], []
-            for _ in range(steps_per_epoch):
-                for _ in range(self.config.n_critic):
-                    d_losses.append(
-                        self._dp_disc_step(data, dp_config, noise_rng)
-                    )
-                g_losses.append(self._gen_step(self.config.batch_size))
-                for p in self._d_params:
-                    np.clip(p.data, -clip_weights, clip_weights, out=p.data)
-                self.log.steps += 1
-            self.log.d_loss.append(float(np.mean(d_losses)))
-            self.log.g_loss.append(float(np.mean(g_losses)))
+        with span("dg.fit_dp", epochs=epochs, records=n):
+            for epoch in range(epochs):
+                epoch_start = time.perf_counter()
+                d_losses, g_losses = [], []
+                for _ in range(steps_per_epoch):
+                    for _ in range(self.config.n_critic):
+                        d_losses.append(
+                            self._dp_disc_step(data, dp_config, noise_rng)
+                        )
+                    g_losses.append(self._gen_step(self.config.batch_size))
+                    for p in self._d_params:
+                        np.clip(p.data, -clip_weights, clip_weights,
+                                out=p.data)
+                    self.log.steps += 1
+                self.log.d_loss.append(float(np.mean(d_losses)))
+                self.log.g_loss.append(float(np.mean(g_losses)))
+                if _TELEMETRY.enabled:
+                    _TELEMETRY.registry.histogram(
+                        "gan.epoch_seconds").observe(
+                        time.perf_counter() - epoch_start)
+                    emit_event("epoch", model="doppelganger", epoch=epoch,
+                               mode="dp", d_loss=self.log.d_loss[-1],
+                               g_loss=self.log.g_loss[-1])
         self.log.wall_seconds += time.perf_counter() - start
         return self.log
 

@@ -9,10 +9,12 @@ optimizers consume.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..telemetry.state import STATE as _TELEMETRY
 from .autograd import Tensor, concatenate, no_grad
 
 __all__ = [
@@ -82,7 +84,18 @@ class Module:
         pass
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        # nn_timing sits behind its own flag (REPRO_TELEMETRY_NN /
+        # telemetry.configure(nn_timing=True)) because this is the
+        # hottest call site in the codebase: the disabled path must
+        # cost exactly one attribute test.
+        if not _TELEMETRY.nn_timing:
+            return self.forward(*args, **kwargs)
+        start = time.perf_counter()
+        out = self.forward(*args, **kwargs)
+        _TELEMETRY.registry.histogram(
+            f"nn.forward_seconds.{type(self).__name__}").observe(
+            time.perf_counter() - start)
+        return out
 
     def forward(self, *args, **kwargs):  # pragma: no cover - abstract
         raise NotImplementedError

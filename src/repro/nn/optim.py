@@ -8,10 +8,12 @@ the update) a thin wrapper rather than a separate optimizer.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..telemetry.state import STATE as _TELEMETRY
 from .autograd import Tensor
 from .layers import Parameter
 
@@ -19,7 +21,13 @@ __all__ = ["Optimizer", "SGD", "Adam", "clip_global_norm"]
 
 
 class Optimizer:
-    """Base optimizer over a fixed parameter list."""
+    """Base optimizer over a fixed parameter list.
+
+    Subclasses implement :meth:`_apply_step`; the public :meth:`step`
+    wraps it with optional telemetry timing (``nn.optimizer_step_seconds``
+    histogram, behind the same opt-in flag as per-layer forward timing)
+    so enabling metrics never changes update arithmetic.
+    """
 
     def __init__(self, params: Sequence[Parameter], lr: float):
         if lr <= 0:
@@ -28,6 +36,16 @@ class Optimizer:
         self.lr = lr
 
     def step(self, grads: Sequence[Tensor]) -> None:
+        if not _TELEMETRY.nn_timing:
+            self._apply_step(grads)
+            return
+        start = time.perf_counter()
+        self._apply_step(grads)
+        _TELEMETRY.registry.histogram(
+            f"nn.optimizer_step_seconds.{type(self).__name__}").observe(
+            time.perf_counter() - start)
+
+    def _apply_step(self, grads: Sequence[Tensor]) -> None:
         raise NotImplementedError
 
     def _check(self, grads: Sequence[Tensor]) -> List[np.ndarray]:
@@ -47,7 +65,7 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.velocity = [np.zeros_like(p.data) for p in self.params]
 
-    def step(self, grads: Sequence[Tensor]) -> None:
+    def _apply_step(self, grads: Sequence[Tensor]) -> None:
         grads = self._check(grads)
         for p, g, v in zip(self.params, grads, self.velocity):
             v *= self.momentum
@@ -66,7 +84,7 @@ class Adam(Optimizer):
         self.v = [np.zeros_like(p.data) for p in self.params]
         self.t = 0
 
-    def step(self, grads: Sequence[Tensor]) -> None:
+    def _apply_step(self, grads: Sequence[Tensor]) -> None:
         grads = self._check(grads)
         self.t += 1
         bias1 = 1.0 - self.beta1**self.t

@@ -16,6 +16,8 @@ import numpy as np
 from ..nn.autograd import Tensor, grad
 from ..nn.layers import Parameter
 from ..nn.optim import clip_global_norm
+from ..telemetry import emit_event
+from ..telemetry.state import STATE as _TELEMETRY
 from .accountant import RdpAccountant
 
 __all__ = ["DpSgdConfig", "privatize_gradients", "DpGradientComputer"]
@@ -141,6 +143,14 @@ class DpGradientComputer:
                 sampling_rate=len(batch_indices) / self.dataset_size,
             )
         self.steps_taken += 1
+        if _TELEMETRY.enabled:
+            # Per-step ε ledger: cumulative privacy spend after this
+            # step (get_epsilon over the running RDP curve is cheap
+            # relative to the per-example gradient loop above).
+            _TELEMETRY.registry.counter("dp.steps").inc()
+            emit_event("dp_step", step=self.steps_taken,
+                       batch=len(batch_indices),
+                       epsilon=self.spent_epsilon())
         return noisy
 
     def spent_epsilon(self) -> float:

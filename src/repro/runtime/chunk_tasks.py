@@ -40,6 +40,8 @@ import numpy as np
 from ..core.flow_encoder import EncodedFlows
 from ..gan.doppelganger import DgConfig, DoppelGANger, TrainingLog
 from ..privacy.dpsgd import DpSgdConfig
+from ..telemetry.spans import span
+from ..telemetry.state import STATE
 from .shm import ArrayRef, SharedArena, SharedEncodedFlows, read_shared_bytes
 
 if TYPE_CHECKING:  # runtime import would be circular (rowgan -> netshare
@@ -138,12 +140,16 @@ def thaw_state(state: Union[None, Dict[str, Any], FrozenState]
         return state
     cached = _THAW_CACHE.get(state.content_hash)
     if cached is None:
+        if STATE.enabled:
+            STATE.registry.counter("runtime.thaw_cache.misses").inc()
         payload = state.payload
         if isinstance(payload, ArrayRef):
             payload = read_shared_bytes(payload)
         cached = pickle.loads(payload)
         _THAW_CACHE[state.content_hash] = cached
         _trim(_THAW_CACHE)
+    elif STATE.enabled:
+        STATE.registry.counter("runtime.thaw_cache.hits").inc()
     return cached
 
 
@@ -204,21 +210,22 @@ def train_chunk(task: ChunkTask) -> ChunkResult:
 
     Module-level and side-effect-free so it pickles for any backend.
     """
-    encoded = materialize_encoded(task.encoded)
-    init_state = thaw_state(task.init_state)
-    model = DoppelGANger(task.gan_config, seed=task.seed)
-    start = time.perf_counter()
-    if task.mode == "fit_dp":
-        if init_state is not None:
+    with span("train_chunk", chunk=task.chunk_index, mode=task.mode):
+        encoded = materialize_encoded(task.encoded)
+        init_state = thaw_state(task.init_state)
+        model = DoppelGANger(task.gan_config, seed=task.seed)
+        start = time.perf_counter()
+        if task.mode == "fit_dp":
+            if init_state is not None:
+                model.load_state_dict(init_state)
+            model.fit_dp(encoded, epochs=task.epochs,
+                         dp_config=task.dp_config, seed=task.seed)
+        elif task.mode == "fine_tune":
             model.load_state_dict(init_state)
-        model.fit_dp(encoded, epochs=task.epochs,
-                     dp_config=task.dp_config, seed=task.seed)
-    elif task.mode == "fine_tune":
-        model.load_state_dict(init_state)
-        model.fine_tune(encoded, epochs=task.epochs)
-    else:
-        model.fit(encoded, epochs=task.epochs)
-    elapsed = time.perf_counter() - start
+            model.fine_tune(encoded, epochs=task.epochs)
+        else:
+            model.fit(encoded, epochs=task.epochs)
+        elapsed = time.perf_counter() - start
     return ChunkResult(
         chunk_index=task.chunk_index,
         state=model.state_dict(),
@@ -277,9 +284,13 @@ def _resolve_encoder(encoder_state):
     if isinstance(encoder_state, FrozenState):
         cached = _ENCODER_CACHE.get(encoder_state.content_hash)
         if cached is None:
+            if STATE.enabled:
+                STATE.registry.counter("runtime.encoder_cache.misses").inc()
             cached = FlowTensorEncoder.from_state(encoder_state.thaw())
             _ENCODER_CACHE[encoder_state.content_hash] = cached
             _trim(_ENCODER_CACHE)
+        elif STATE.enabled:
+            STATE.registry.counter("runtime.encoder_cache.hits").inc()
         return cached
     return FlowTensorEncoder.from_state(encoder_state)
 
@@ -289,10 +300,14 @@ def _resolve_model(gan_config: DgConfig, model_state, seed: int
     if isinstance(model_state, FrozenState):
         cached = _MODEL_CACHE.get(model_state.content_hash)
         if cached is None:
+            if STATE.enabled:
+                STATE.registry.counter("runtime.model_cache.misses").inc()
             cached = DoppelGANger.from_state(
                 gan_config, model_state.thaw(), seed=seed)
             _MODEL_CACHE[model_state.content_hash] = cached
             _trim(_MODEL_CACHE)
+        elif STATE.enabled:
+            STATE.registry.counter("runtime.model_cache.hits").inc()
         return cached
     return DoppelGANger.from_state(gan_config, model_state, seed=seed)
 
@@ -305,17 +320,19 @@ def generate_chunk(task: GenerateTask) -> GeneratePiece:
     contribution and retries with the next round's seeds.
     """
     start = time.perf_counter()
-    model = _resolve_model(task.gan_config, task.model_state,
-                           seed=task.sample_seed)
-    encoded = model.generate(task.n_flows, seed=task.sample_seed)
-    trace = None
-    if np.any(encoded.gen_flags > 0.5):
-        encoder = _resolve_encoder(task.encoder_state)
-        piece = encoder.decode(
-            encoded, task.window,
-            rng=np.random.default_rng(task.decode_seed))
-        if len(piece) > 0:
-            trace = piece
+    with span("generate_chunk", chunk=task.chunk_index,
+              n_flows=task.n_flows):
+        model = _resolve_model(task.gan_config, task.model_state,
+                               seed=task.sample_seed)
+        encoded = model.generate(task.n_flows, seed=task.sample_seed)
+        trace = None
+        if np.any(encoded.gen_flags > 0.5):
+            encoder = _resolve_encoder(task.encoder_state)
+            piece = encoder.decode(
+                encoded, task.window,
+                rng=np.random.default_rng(task.decode_seed))
+            if len(piece) > 0:
+                trace = piece
     return GeneratePiece(
         chunk_index=task.chunk_index,
         n_flows=task.n_flows,
@@ -354,9 +371,10 @@ def train_rowgan(task: RowGanTask) -> RowGanResult:
     # which imports this module — a top-level import would be circular.
     from ..baselines.rowgan import RowGan
 
-    rows = _materialize_rows(task.rows)
-    gan = RowGan(task.columns, task.config, seed=task.seed)
-    gan.fit(rows, epochs=task.epochs, conditions=task.conditions)
+    with span("train_rowgan", index=task.index):
+        rows = _materialize_rows(task.rows)
+        gan = RowGan(task.columns, task.config, seed=task.seed)
+        gan.fit(rows, epochs=task.epochs, conditions=task.conditions)
     return RowGanResult(
         index=task.index,
         state=gan.state_dict(),
@@ -380,6 +398,7 @@ class RowGanSampleTask:
 def sample_rowgan(task: RowGanSampleTask) -> np.ndarray:
     from ..baselines.rowgan import RowGan
 
-    gan = RowGan(task.columns, task.config, seed=task.seed)
-    gan.load_state_dict(thaw_state(task.state))
-    return gan.generate(task.n_rows, seed=task.sample_seed)
+    with span("sample_rowgan", index=task.index, n_rows=task.n_rows):
+        gan = RowGan(task.columns, task.config, seed=task.seed)
+        gan.load_state_dict(thaw_state(task.state))
+        return gan.generate(task.n_rows, seed=task.sample_seed)

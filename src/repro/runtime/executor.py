@@ -9,17 +9,27 @@ backends:
 
 * :class:`SerialExecutor` — in-process loop (the default; also the
   reference semantics every other backend must reproduce bit-exactly);
-* :class:`MultiprocessingExecutor` — a ``multiprocessing.Pool`` fan-out
-  across worker processes (tasks pickled into the worker pipe);
-* :class:`SharedMemoryExecutor` — the same fan-out, but it announces
+* :class:`MultiprocessingExecutor` — a persistent pipe-based worker
+  pool reused across ``map_tasks`` calls (tasks pickled into each
+  worker's pipe), with dead workers respawned and their tasks retried;
+* :class:`SharedMemoryExecutor` — the same pool, but it announces
   ``uses_shared_memory`` so callers move bulk tensors into a
   :class:`~repro.runtime.shm.SharedArena` and dispatch only tiny
   manifests through the pipe (the zero-copy data plane).
 
+The pool persists for the lifetime of the executor — per-process
+caches in :mod:`repro.runtime.chunk_tasks` (frozen-state thaw cache,
+generate-side model/encoder caches) survive from one ``map_tasks``
+call to the next, which is what makes ``generate``'s top-up rounds
+cheap.  Executors are context managers; ``close()`` (or ``with``)
+shuts the pool down, and a ``weakref.finalize`` backstop reaps workers
+if an executor is dropped without closing.
+
 Determinism contract: a task carries every RNG seed it needs (derived
 from the model config, never from scheduling order), so backends only
 change *where* a task runs — results are bit-identical across
-backends and across ``jobs`` settings.
+backends and across ``jobs`` settings.  Telemetry likewise never
+feeds an RNG: outputs are bit-identical with telemetry on or off.
 
 Backend selection: ``get_executor(jobs, backend)``; a ``jobs`` of
 ``None`` falls back to the ``REPRO_JOBS`` environment variable, then
@@ -31,6 +41,11 @@ Dispatch instrumentation: when ``REPRO_MEASURE_DISPATCH`` is set (the
 perf benchmark harness does this), every ``map_tasks`` call records
 the pickled size of its task list on ``dispatch_bytes`` /
 ``dispatch_tasks`` — the number the zero-copy plane exists to shrink.
+Independently, while :mod:`repro.telemetry` is enabled the pool counts
+the actual bytes written to worker pipes (``runtime.dispatch_bytes``)
+and times every task (``runtime.task_seconds``), and each worker ships
+its span buffer and metric deltas back inside the result envelope so
+the orchestrator can splice one trace tree per run.
 """
 
 from __future__ import annotations
@@ -38,8 +53,16 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import time
+import weakref
 from abc import ABC, abstractmethod
-from typing import Any, Callable, List, Optional, Sequence
+from collections import deque
+from multiprocessing.connection import wait as _conn_wait
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from .. import telemetry
+from ..telemetry.spans import set_task, span
+from ..telemetry.state import STATE
 
 __all__ = [
     "Executor",
@@ -53,6 +76,7 @@ __all__ = [
     "BACKEND_ENV_VAR",
     "MEASURE_DISPATCH_ENV_VAR",
     "BACKENDS",
+    "MAX_TASK_ATTEMPTS",
 ]
 
 #: Environment variable consulted when no explicit job count is given.
@@ -65,6 +89,10 @@ MEASURE_DISPATCH_ENV_VAR = "REPRO_MEASURE_DISPATCH"
 
 #: Recognised backend names, in the order the docs present them.
 BACKENDS = ("serial", "multiprocessing", "shm")
+
+#: How many times one task may be dispatched before a dying worker is
+#: treated as the task's fault and the run fails.
+MAX_TASK_ATTEMPTS = 3
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -104,11 +132,245 @@ def resolve_backend(backend: Optional[str] = None) -> Optional[str]:
     return backend
 
 
+def _run_inline(fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+    """In-process task loop shared by the serial backend and the
+    single-worker fast path; records per-task spans and durations when
+    telemetry is on (as children of the caller's ``map_tasks`` span)."""
+    if not STATE.enabled:
+        return [fn(task) for task in tasks]
+    registry = STATE.registry
+    fn_name = getattr(fn, "__name__", str(fn))
+    results: List[Any] = []
+    for index, task in enumerate(tasks):
+        set_task(index)
+        start = time.perf_counter()
+        try:
+            with span("task", index=index, fn=fn_name):
+                results.append(fn(task))
+        finally:
+            set_task(None)
+        registry.histogram("runtime.task_seconds").observe(
+            time.perf_counter() - start)
+        registry.counter("runtime.tasks_completed").inc()
+    return results
+
+
+# ----------------------------------------------------------------------
+# Worker side of the pipe protocol.
+#
+# Dispatch message (pre-pickled by the parent, so the byte count that
+# telemetry records is exactly what crossed the pipe):
+#     (index, fn, task, telem)
+# Reply:
+#     (index, "ok" | "error", result_or_exception, telemetry_payload)
+# A ``None`` message is the shutdown sentinel.
+
+def _worker_main(conn) -> None:
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        index, fn, task, telem = message
+        payload = None
+        if telem:
+            telemetry.begin_worker_task(index)
+        try:
+            if telem:
+                start = time.perf_counter()
+                with span("task", index=index,
+                          fn=getattr(fn, "__name__", str(fn))):
+                    value = fn(task)
+                STATE.registry.histogram("runtime.task_seconds").observe(
+                    time.perf_counter() - start)
+                STATE.registry.counter("runtime.tasks_completed").inc()
+                payload = telemetry.export_worker_payload()
+            else:
+                value = fn(task)
+            reply: Tuple[Any, ...] = (index, "ok", value, payload)
+        except BaseException as exc:  # noqa: BLE001 - shipped to parent
+            if telem:
+                payload = telemetry.export_worker_payload()
+            try:
+                pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                exc = RuntimeError(f"{type(exc).__name__}: {exc}")
+            reply = (index, "error", exc, payload)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class _WorkerHandle:
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+
+
+def _close_pool(workers: List[_WorkerHandle]) -> None:
+    """Shut a pool's workers down (also the ``weakref.finalize``
+    backstop when an executor is dropped without ``close()``)."""
+    sentinel = pickle.dumps(None, protocol=pickle.HIGHEST_PROTOCOL)
+    for worker in workers:
+        try:
+            worker.conn.send_bytes(sentinel)
+        except (BrokenPipeError, OSError):
+            pass
+    for worker in workers:
+        worker.process.join(timeout=2.0)
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=2.0)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+    workers.clear()
+
+
+class _WorkerPool:
+    """A persistent set of pipe-connected worker processes.
+
+    Unlike ``multiprocessing.Pool`` (which deadlocks when a worker dies
+    mid-task), each worker here owns a duplex pipe: a dead worker shows
+    up as an ``EOFError`` on its connection, at which point the pool
+    respawns a replacement and re-queues the in-flight task (up to
+    :data:`MAX_TASK_ATTEMPTS` dispatches per task).
+    """
+
+    def __init__(self, ctx, max_workers: int):
+        self._ctx = ctx
+        self.max_workers = max_workers
+        self._workers: List[_WorkerHandle] = []
+
+    @property
+    def worker_pids(self) -> List[int]:
+        return [w.process.pid for w in self._workers]
+
+    def _spawn(self) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True)
+        process.start()
+        child_conn.close()
+        worker = _WorkerHandle(process, parent_conn)
+        self._workers.append(worker)
+        return worker
+
+    def _discard(self, worker: _WorkerHandle) -> None:
+        if worker in self._workers:
+            self._workers.remove(worker)
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=2.0)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    def run(self, fn: Callable[[Any], Any], tasks: Sequence[Any],
+            workers: int, telem: bool) -> List[Any]:
+        """Dispatch every task, in task order, over ``workers`` pipes."""
+        results: List[Any] = [None] * len(tasks)
+        pending: Deque[Tuple[int, Any]] = deque(enumerate(tasks))
+        attempts: Dict[int, int] = {}
+        in_flight: Dict[Any, Tuple[_WorkerHandle, int, Any]] = {}
+        error: Optional[BaseException] = None
+        registry = STATE.registry
+
+        while len(self._workers) < min(workers, self.max_workers,
+                                       len(tasks)):
+            self._spawn()
+        idle: Deque[_WorkerHandle] = deque(self._workers)
+
+        while pending or in_flight:
+            while pending and idle and error is None:
+                index, task = pending.popleft()
+                attempts[index] = attempts.get(index, 0) + 1
+                worker = idle.popleft()
+                blob = pickle.dumps((index, fn, task, telem),
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+                if telem:
+                    registry.counter("runtime.dispatch_bytes").inc(len(blob))
+                    registry.counter("runtime.tasks_dispatched").inc()
+                try:
+                    worker.conn.send_bytes(blob)
+                except (BrokenPipeError, OSError):
+                    # Worker died while idle: replace it, put the task
+                    # back (dispatch never reached it).
+                    self._discard(worker)
+                    if attempts[index] >= MAX_TASK_ATTEMPTS:
+                        error = RuntimeError(
+                            f"task {index} could not be dispatched after "
+                            f"{MAX_TASK_ATTEMPTS} attempts: workers keep "
+                            "dying")
+                        break
+                    self._note_retry(index, attempts[index], worker, telem)
+                    pending.appendleft((index, task))
+                    idle.append(self._spawn())
+                    continue
+                in_flight[worker.conn] = (worker, index, task)
+            if not in_flight:
+                break
+            for conn in _conn_wait(list(in_flight)):
+                worker, index, task = in_flight.pop(conn)
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError):
+                    # Worker died mid-task.
+                    pid = worker.process.pid
+                    self._discard(worker)
+                    if attempts[index] >= MAX_TASK_ATTEMPTS:
+                        if error is None:
+                            error = RuntimeError(
+                                f"task {index} failed {MAX_TASK_ATTEMPTS} "
+                                f"times: worker died (last pid {pid})")
+                        continue
+                    self._note_retry(index, attempts[index], worker, telem)
+                    if error is None:
+                        pending.append((index, task))
+                        idle.append(self._spawn())
+                    continue
+                _, status, value, payload = reply
+                if telem:
+                    telemetry.absorb_worker_payload(payload)
+                if status == "ok":
+                    results[index] = value
+                elif error is None:
+                    error = value
+                idle.append(worker)
+        if error is not None:
+            raise error
+        return results
+
+    @staticmethod
+    def _note_retry(index: int, attempt: int, worker: _WorkerHandle,
+                    telem: bool) -> None:
+        if telem:
+            STATE.registry.counter("runtime.worker_retries").inc()
+            telemetry.emit_event(
+                "worker_retry", task=index, attempt=attempt,
+                pid=worker.process.pid)
+
+    def close(self) -> None:
+        _close_pool(self._workers)
+
+
 class Executor(ABC):
     """Maps a task function over a sequence of task objects.
 
     Results are returned in task order regardless of completion order,
-    so callers can zip tasks with results.
+    so callers can zip tasks with results.  Executors are context
+    managers; ``close()`` releases any worker pool.
     """
 
     #: Human-readable backend name (surfaced in NetShare diagnostics).
@@ -130,6 +392,15 @@ class Executor(ABC):
                   tasks: Sequence[Any]) -> List[Any]:
         """Run ``fn`` on every task; return results in task order."""
 
+    def close(self) -> None:
+        """Release pooled workers (no-op for in-process backends)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def _record_dispatch(self, tasks: Sequence[Any]) -> None:
         if not os.environ.get(MEASURE_DISPATCH_ENV_VAR, "").strip():
             return
@@ -150,16 +421,20 @@ class SerialExecutor(Executor):
     def map_tasks(self, fn, tasks):
         tasks = list(tasks)
         self._record_dispatch(tasks)
-        return [fn(task) for task in tasks]
+        with span("map_tasks", backend=self.name, tasks=len(tasks), jobs=1):
+            return _run_inline(fn, tasks)
 
 
 class MultiprocessingExecutor(Executor):
-    """Fan tasks out across a ``multiprocessing.Pool``.
+    """Fan tasks out across a persistent pipe-based worker pool.
 
     The task function must be a module-level callable and every task
     picklable.  Single-task (or single-worker) calls run in-process to
-    avoid pool startup cost — results are identical either way by the
-    determinism contract.
+    avoid worker startup cost — results are identical either way by
+    the determinism contract.  The pool (and with it the workers'
+    per-process caches) survives across ``map_tasks`` calls until
+    ``close()``; a worker that dies mid-task is respawned and its task
+    retried up to :data:`MAX_TASK_ATTEMPTS` dispatches.
     """
 
     name = "multiprocessing"
@@ -167,6 +442,8 @@ class MultiprocessingExecutor(Executor):
     def __init__(self, jobs: Optional[int] = None):
         super().__init__()
         self.jobs = resolve_jobs(jobs if jobs is not None else 0)
+        self._pool: Optional[_WorkerPool] = None
+        self._finalizer: Optional[weakref.finalize] = None
 
     def _context(self):
         # fork is cheapest where available (Linux); spawn elsewhere.
@@ -174,16 +451,42 @@ class MultiprocessingExecutor(Executor):
         return multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn")
 
+    def _ensure_pool(self) -> _WorkerPool:
+        if self._pool is None:
+            self._pool = _WorkerPool(self._context(), self.jobs)
+            # Backstop: reap workers if the executor is garbage
+            # collected without close() (must not capture ``self``).
+            self._finalizer = weakref.finalize(
+                self, _close_pool, self._pool._workers)
+        return self._pool
+
+    @property
+    def worker_pids(self) -> List[int]:
+        """PIDs of live pooled workers (observability/testing)."""
+        return self._pool.worker_pids if self._pool is not None else []
+
+    def close(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
     def map_tasks(self, fn, tasks):
         tasks = list(tasks)
         if not tasks:
             return []
         self._record_dispatch(tasks)
         workers = min(self.jobs, len(tasks))
-        if workers <= 1:
-            return [fn(task) for task in tasks]
-        with self._context().Pool(processes=workers) as pool:
-            return pool.map(fn, tasks, chunksize=1)
+        # Workers buffer their telemetry and ship it back only when the
+        # orchestrating process is recording (never nested in a worker).
+        telem = STATE.enabled and not STATE.worker_mode
+        with span("map_tasks", backend=self.name, tasks=len(tasks),
+                  jobs=workers):
+            if workers <= 1:
+                return _run_inline(fn, tasks)
+            return self._ensure_pool().run(fn, tasks, workers, telem)
 
 
 class SharedMemoryExecutor(MultiprocessingExecutor):

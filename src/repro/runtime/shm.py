@@ -43,6 +43,8 @@ from typing import Dict, Tuple, Union
 import numpy as np
 
 from ..core.flow_encoder import EncodedFlows
+from ..telemetry import emit_event
+from ..telemetry.state import STATE
 
 __all__ = [
     "ArrayRef",
@@ -199,6 +201,11 @@ class SharedArena:
         ref = ArrayRef(name=name, shape=tuple(array.shape),
                        dtype=array.dtype.str)
         self._nbytes[name] = ref.nbytes
+        if STATE.enabled:
+            STATE.registry.counter("shm.bytes_staged").inc(ref.nbytes)
+            STATE.registry.counter("shm.blocks_staged").inc()
+            emit_event("shm_stage", name=name, nbytes=ref.nbytes,
+                       shape=list(ref.shape), dtype=ref.dtype)
         return ref
 
     def share_bytes(self, payload: bytes) -> ArrayRef:
@@ -228,6 +235,9 @@ class SharedArena:
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
         """Unlink and release every block (idempotent)."""
+        if self._blocks and STATE.enabled:
+            emit_event("shm_unlink", blocks=len(self._blocks),
+                       nbytes=self.shared_bytes)
         _release(self._blocks)
 
     def __enter__(self) -> "SharedArena":

@@ -1,0 +1,44 @@
+"""``python -m repro.telemetry`` — journal inspection CLI."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .report import report
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Inspect run journals written by repro.telemetry.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rep = sub.add_parser(
+        "report", help="summarize a run journal (events.jsonl)")
+    rep.add_argument(
+        "journal",
+        help="events.jsonl file, a run directory, or a journal base "
+             "directory (newest run is picked)")
+    rep.add_argument("--format", choices=("text", "json"), default="text",
+                     help="output format (default: text)")
+    rep.add_argument("--top", type=int, default=10, metavar="N",
+                     help="how many slowest spans to show (default: 10)")
+
+    args = parser.parse_args(argv)
+    if args.command == "report":
+        try:
+            print(report(args.journal, output_format=args.format,
+                         top_spans=args.top))
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,229 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is deliberately tiny and pure-stdlib: instruments are
+created on demand by name, snapshots are plain JSON-able dicts, and a
+worker's snapshot can be :meth:`~MetricsRegistry.merge`-d into the
+orchestrator's registry — that is how per-worker cache-hit counts and
+task-duration histograms travel back over the executor's result pipe.
+
+When telemetry is disabled the active registry is
+:data:`NULL_REGISTRY`, whose instruments are shared no-op singletons:
+an ``metrics().counter("x").inc()`` on the disabled path costs three
+attribute lookups and no allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets (seconds): spans from sub-millisecond
+#: kernel steps to minute-scale chunk training.  Upper bounds;
+#: observations above the last bound land in the +Inf bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style, Prometheus layout).
+
+    ``counts[i]`` is the number of observations ``<= buckets[i]``
+    boundaries exclusive of earlier buckets (i.e. per-bucket, not
+    cumulative, counts); ``counts[-1]`` is the +Inf overflow bucket.
+    """
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.buckets = tuple(float(b) for b in buckets)
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.total += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Bucket-upper-bound estimate of the q-th percentile
+        (0 <= q <= 100); None when empty.  Observations beyond the last
+        bucket report the last finite bound (a floor, flagged as such
+        in the report rendering)."""
+        if self.count == 0:
+            return None
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        rank = q / 100.0 * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank and n:
+                if i < len(self.buckets):
+                    return self.buckets[i]
+                return self.buckets[-1]
+        return self.buckets[-1]
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors ------------------------------------------
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter()
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge()
+        return inst
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(buckets)
+        return inst
+
+    # -- aggregation ----------------------------------------------------
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-able state dump (the worker→parent wire format)."""
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()},
+            "histograms": {
+                k: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.total,
+                    "count": h.count,
+                }
+                for k, h in self._histograms.items()
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, dict]) -> None:
+        """Fold a worker's snapshot in: counters/histograms add, gauges
+        take the incoming value (last write wins)."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, buckets=data["buckets"])
+            if list(hist.buckets) != [float(b) for b in data["buckets"]]:
+                # Bucket layouts disagree (histogram re-declared with
+                # different bounds): fold in through observe-at-bound
+                # rather than corrupting counts.
+                for bound, n in zip(list(data["buckets"]) + [data["buckets"][-1]],
+                                    data["counts"]):
+                    for _ in range(int(n)):
+                        hist.observe(float(bound))
+                continue
+            for i, n in enumerate(data["counts"]):
+                hist.counts[i] += int(n)
+            hist.total += float(data["sum"])
+            hist.count += int(data["count"])
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry(MetricsRegistry):
+    """Shared no-op registry: the disabled-telemetry fast path."""
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return _NULL_HISTOGRAM
+
+
+#: The registry installed while telemetry is disabled.
+NULL_REGISTRY = NullRegistry()

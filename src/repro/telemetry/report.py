@@ -1,0 +1,289 @@
+"""Render a run summary from a journal (``report`` subcommand logic).
+
+Consumes the event stream written by :class:`~repro.telemetry.journal.
+RunJournal` and produces either a JSON summary dict or a human text
+rendering: per-chunk wall/cpu, the slowest spans in the spliced trace
+tree, histogram percentiles from the final metrics snapshot, the DP ε
+trajectory, generate-round accept/reject counts, worker retries, and
+shm arena traffic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .journal import load_journal
+from .metrics import Histogram
+
+__all__ = ["summarize", "render_text", "report"]
+
+
+def _walk_spans(node: Dict[str, Any], path: str = ""
+                ) -> Iterator[Tuple[str, Dict[str, Any]]]:
+    here = f"{path}/{node.get('name', '?')}" if path else node.get("name", "?")
+    yield here, node
+    for child in node.get("children", ()):
+        yield from _walk_spans(child, here)
+
+
+def _histogram_stats(data: Dict[str, Any]) -> Dict[str, Any]:
+    hist = Histogram(data["buckets"])
+    hist.counts = [int(n) for n in data["counts"]]
+    hist.total = float(data["sum"])
+    hist.count = int(data["count"])
+    return {
+        "count": hist.count,
+        "mean": hist.mean,
+        "p50": hist.percentile(50),
+        "p90": hist.percentile(90),
+        "p99": hist.percentile(99),
+    }
+
+
+def summarize(meta: Dict[str, Any], events: List[Dict[str, Any]],
+              top_spans: int = 10) -> Dict[str, Any]:
+    """Fold a journal's event stream into one summary dict."""
+    by_type: Dict[str, int] = {}
+    for event in events:
+        kind = event.get("event", "?")
+        by_type[kind] = by_type.get(kind, 0) + 1
+
+    summary: Dict[str, Any] = {
+        "run": {
+            "run_id": meta.get("run_id"),
+            "label": meta.get("label"),
+            "events": len(events),
+            "event_counts": dict(sorted(by_type.items())),
+        },
+    }
+
+    # -- fit ------------------------------------------------------------
+    chunks = [e for e in events if e.get("event") == "chunk_result"]
+    fit_end = [e for e in events if e.get("event") == "fit_end"]
+    fit_start = [e for e in events if e.get("event") == "fit_start"]
+    if fit_start or chunks or fit_end:
+        summary["fit"] = {
+            "runs": [
+                {k: e.get(k) for k in
+                 ("model", "backend", "jobs", "n_chunks", "records")}
+                for e in fit_start
+            ],
+            "chunks": [
+                {k: e.get(k) for k in
+                 ("chunk", "mode", "train_seconds", "epochs")}
+                for e in chunks
+            ],
+            "totals": [
+                {k: e.get(k) for k in
+                 ("wall_seconds", "cpu_seconds", "backend", "epsilon")}
+                for e in fit_end
+            ],
+        }
+
+    # -- generate -------------------------------------------------------
+    rounds = [e for e in events if e.get("event") == "generate_round"]
+    gen_end = [e for e in events if e.get("event") == "generate_end"]
+    if rounds or gen_end:
+        summary["generate"] = {
+            "rounds": [
+                {k: e.get(k) for k in
+                 ("round", "tasks", "accepted", "rejected", "records",
+                  "shortfall")}
+                for e in rounds
+            ],
+            "totals": [
+                {k: e.get(k) for k in ("wall_seconds", "records", "rounds")}
+                for e in gen_end
+            ],
+        }
+
+    # -- differential privacy ------------------------------------------
+    dp_steps = [e for e in events if e.get("event") == "dp_step"]
+    dp_chunks = [e for e in events if e.get("event") == "dp_epsilon"]
+    if dp_steps or dp_chunks:
+        summary["dp"] = {
+            "steps": [
+                {"step": e.get("step"), "epsilon": e.get("epsilon")}
+                for e in dp_steps
+            ],
+            "per_chunk": [
+                {"chunk": e.get("chunk"), "steps": e.get("steps"),
+                 "epsilon": e.get("epsilon")}
+                for e in dp_chunks
+            ],
+        }
+
+    # -- worker retries / shm traffic ----------------------------------
+    retries = [e for e in events if e.get("event") == "worker_retry"]
+    if retries:
+        summary["worker_retries"] = [
+            {k: e.get(k) for k in ("task", "attempt", "pid")}
+            for e in retries
+        ]
+    staged = [e for e in events if e.get("event") == "shm_stage"]
+    unlinked = [e for e in events if e.get("event") == "shm_unlink"]
+    if staged or unlinked:
+        summary["shm"] = {
+            "blocks_staged": len(staged),
+            "bytes_staged": sum(int(e.get("nbytes", 0)) for e in staged),
+            "unlink_events": len(unlinked),
+            "bytes_unlinked": sum(int(e.get("nbytes", 0)) for e in unlinked),
+        }
+
+    # -- spans ----------------------------------------------------------
+    flat: List[Dict[str, Any]] = []
+    for event in events:
+        if event.get("event") != "span":
+            continue
+        for path, node in _walk_spans(event.get("span", {})):
+            flat.append({
+                "path": path,
+                "duration_s": float(node.get("duration_s", 0.0)),
+                "task_id": node.get("task_id"),
+                "worker_pid": node.get("worker_pid"),
+                "attrs": node.get("attrs"),
+            })
+    if flat:
+        flat.sort(key=lambda item: -item["duration_s"])
+        summary["spans"] = {
+            "total": len(flat),
+            "slowest": flat[:top_spans],
+        }
+
+    # -- metrics snapshot ----------------------------------------------
+    metric_events = [e for e in events if e.get("event") == "metrics"]
+    if metric_events:
+        final = metric_events[-1]
+        summary["metrics"] = {
+            "counters": dict(sorted((final.get("counters") or {}).items())),
+            "gauges": dict(sorted((final.get("gauges") or {}).items())),
+            "histograms": {
+                name: _histogram_stats(data)
+                for name, data in sorted(
+                    (final.get("histograms") or {}).items())
+            },
+        }
+    return summary
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.3f}s"
+
+
+def render_text(summary: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`summarize`'s output."""
+    lines: List[str] = []
+    run = summary["run"]
+    lines.append(f"run {run.get('run_id')}"
+                 + (f"  ({run['label']})" if run.get("label") else ""))
+    lines.append(f"  events: {run['events']}  "
+                 + "  ".join(f"{k}={v}"
+                             for k, v in run["event_counts"].items()))
+
+    fit = summary.get("fit")
+    if fit:
+        lines.append("fit:")
+        for entry in fit["runs"]:
+            lines.append(
+                f"  {entry.get('model')}: backend={entry.get('backend')} "
+                f"jobs={entry.get('jobs')} n_chunks={entry.get('n_chunks')} "
+                f"records={entry.get('records')}")
+        for chunk in fit["chunks"]:
+            lines.append(
+                f"  chunk {chunk.get('chunk')}: "
+                f"{_fmt_seconds(chunk.get('train_seconds'))} "
+                f"mode={chunk.get('mode')} epochs={chunk.get('epochs')}")
+        for total in fit["totals"]:
+            eps = total.get("epsilon")
+            lines.append(
+                f"  total: wall={_fmt_seconds(total.get('wall_seconds'))} "
+                f"cpu={_fmt_seconds(total.get('cpu_seconds'))}"
+                + (f" epsilon={eps:.3f}" if isinstance(eps, float) else ""))
+
+    gen = summary.get("generate")
+    if gen:
+        lines.append("generate:")
+        for rnd in gen["rounds"]:
+            lines.append(
+                f"  round {rnd.get('round')}: accepted "
+                f"{rnd.get('accepted')}/{rnd.get('tasks')} chunks, "
+                f"+{rnd.get('records')} records "
+                f"(shortfall {rnd.get('shortfall')})")
+        for total in gen["totals"]:
+            lines.append(
+                f"  total: wall={_fmt_seconds(total.get('wall_seconds'))} "
+                f"records={total.get('records')} rounds={total.get('rounds')}")
+
+    dp = summary.get("dp")
+    if dp:
+        lines.append("dp epsilon trajectory:")
+        for entry in dp["per_chunk"]:
+            lines.append(f"  chunk {entry['chunk']}: steps={entry['steps']} "
+                         f"epsilon={entry['epsilon']:.3f}")
+        steps = dp["steps"]
+        if steps:
+            head = steps[: 3]
+            tail = steps[-1]
+            for entry in head:
+                lines.append(f"  step {entry['step']}: "
+                             f"epsilon={entry['epsilon']:.4f}")
+            if len(steps) > 3:
+                lines.append(f"  ... step {tail['step']}: "
+                             f"epsilon={tail['epsilon']:.4f}")
+
+    retries = summary.get("worker_retries")
+    if retries:
+        lines.append(f"worker retries: {len(retries)}")
+        for entry in retries:
+            lines.append(f"  task {entry.get('task')} attempt "
+                         f"{entry.get('attempt')} (dead pid {entry.get('pid')})")
+
+    shm = summary.get("shm")
+    if shm:
+        lines.append(
+            f"shm: staged {shm['blocks_staged']} blocks "
+            f"({shm['bytes_staged']} bytes), "
+            f"{shm['unlink_events']} unlink events "
+            f"({shm['bytes_unlinked']} bytes)")
+
+    spans = summary.get("spans")
+    if spans:
+        lines.append(f"slowest spans (of {spans['total']}):")
+        for entry in spans["slowest"]:
+            where = []
+            if entry.get("task_id") is not None:
+                where.append(f"task={entry['task_id']}")
+            if entry.get("worker_pid") is not None:
+                where.append(f"pid={entry['worker_pid']}")
+            lines.append(
+                f"  {entry['duration_s']:.3f}s  {entry['path']}"
+                + (f"  [{' '.join(where)}]" if where else ""))
+
+    metrics = summary.get("metrics")
+    if metrics:
+        if metrics["counters"]:
+            lines.append("counters:")
+            for name, value in metrics["counters"].items():
+                lines.append(f"  {name} = {value:g}")
+        if metrics["histograms"]:
+            lines.append("histograms (bucket-bound percentiles):")
+            for name, stats in metrics["histograms"].items():
+                lines.append(
+                    f"  {name}: n={stats['count']} "
+                    f"mean={_fmt_seconds(stats['mean'])} "
+                    f"p50={_fmt_seconds(stats['p50'])} "
+                    f"p90={_fmt_seconds(stats['p90'])} "
+                    f"p99={_fmt_seconds(stats['p99'])}")
+    return "\n".join(lines)
+
+
+def report(path, output_format: str = "text", top_spans: int = 10) -> str:
+    """Load a journal and render its summary as text or JSON."""
+    meta, events = load_journal(path)
+    summary = summarize(meta, events, top_spans=top_spans)
+    if output_format == "json":
+        return json.dumps(summary, indent=2)
+    return render_text(summary)
