@@ -6,7 +6,11 @@ Measures, for one ≥4-chunk NetShare configuration:
   dispatch-payload bytes each backend pushes through the worker pipe
   (the number the zero-copy shared-memory plane exists to shrink);
 * **generate** — wall seconds for sequential (jobs=1) vs parallel
-  (jobs=4) per-chunk sampling on each parallel backend.
+  (jobs=4) per-chunk sampling on each parallel backend;
+* **alloc** — the ``repro.nn.pool`` buffer planner: pooled-vs-unpooled
+  bitwise parity, pool hit rate over a smoke fit (gate: >= 90%), temp
+  arrays per discriminator step with the pool off vs warm (gate: >= 5x
+  reduction), and fit wall clock both ways.
 
 Everything lands in ``BENCH_runtime.json`` at the repo root, and the
 tests double as the regression gate: chunk weights and generated
@@ -32,7 +36,10 @@ import numpy as np
 import pytest
 
 from repro import NetShare, NetShareConfig, telemetry
+from repro.core.flow_encoder import EncodedFlows
 from repro.datasets import load_dataset
+from repro.gan.doppelganger import DgConfig, DoppelGANger
+from repro.nn.pool import POOL
 from repro.runtime import BACKENDS, MEASURE_DISPATCH_ENV_VAR
 from repro.telemetry import load_journal
 from repro.telemetry.spans import span
@@ -80,6 +87,75 @@ def _noop_span_ns(iterations: int = 50_000) -> float:
         with span("bench.noop"):
             pass
     return (time.perf_counter() - start) / iterations * 1e9
+
+
+ALLOC_EPOCHS = 4 if SMOKE else 8
+ALLOC_PROBE_STEPS = 20
+
+
+def _alloc_section() -> dict:
+    """Measure the buffer pool on the repro.nn hot loop.
+
+    Fits the same DoppelGANger twice (``REPRO_NN_POOL`` off, then on):
+    parity is the bitwise oracle, the per-step probe counts how many
+    scratch arrays a discriminator step requests (every request is a
+    fresh ``np.empty`` on the unpooled path, a free-list pop once the
+    pool is warm).
+    """
+    rng = np.random.default_rng(0)
+    flows = EncodedFlows(rng.uniform(size=(96, 6)),
+                         rng.uniform(size=(96, 4, 3)),
+                         np.ones((96, 4)))
+    config = DgConfig(metadata_dim=6, measurement_dim=3, max_timesteps=4,
+                      batch_size=32, meta_hidden=32, rnn_hidden=32,
+                      disc_hidden=32)
+
+    def fit_model(pooled):
+        POOL.configure(pooled)
+        POOL.reset()
+        model = DoppelGANger(config, seed=1)
+        start = time.perf_counter()
+        model.fit(flows, epochs=ALLOC_EPOCHS)
+        return model, time.perf_counter() - start
+
+    model_off, wall_off = fit_model(False)
+    model_on, wall_on = fit_model(True)
+    fit_stats = POOL.stats()
+
+    parity = (list(model_off.log.d_loss) == list(model_on.log.d_loss)
+              and list(model_off.log.g_loss) == list(model_on.log.g_loss))
+    state_off, state_on = model_off.state_dict(), model_on.state_dict()
+    parity = parity and all(np.array_equal(state_off[k], state_on[k])
+                            for k in state_off)
+
+    # Steady-state probe: after warmup every step's buffers come from
+    # the free lists, so requests/step == temp arrays the unpooled
+    # path would allocate and misses/step == what the pool allocates.
+    for _ in range(3):
+        model_on._disc_step(flows, config.batch_size)
+    before = POOL.stats()
+    for _ in range(ALLOC_PROBE_STEPS):
+        model_on._disc_step(flows, config.batch_size)
+    after = POOL.stats()
+    requests = (after["hits"] + after["misses"]
+                - before["hits"] - before["misses"])
+    misses = after["misses"] - before["misses"]
+    temps_unpooled = requests / ALLOC_PROBE_STEPS
+    temps_pooled = misses / ALLOC_PROBE_STEPS
+    POOL.configure(True)
+    POOL.reset()
+
+    return {
+        "epochs": ALLOC_EPOCHS,
+        "bit_identical_with_pool": parity,
+        "fit_hit_rate": round(fit_stats["hit_rate"], 4),
+        "fit_wall_seconds_unpooled": round(wall_off, 3),
+        "fit_wall_seconds_pooled": round(wall_on, 3),
+        "fit_wall_speedup": round(wall_off / max(wall_on, 1e-9), 2),
+        "disc_step_temp_arrays_unpooled": round(temps_unpooled, 1),
+        "disc_step_temp_arrays_pooled": round(temps_pooled, 1),
+        "alloc_reduction": round(temps_unpooled / max(temps_pooled, 1.0), 1),
+    }
 
 
 @pytest.fixture(scope="module")
@@ -147,16 +223,31 @@ def bench():
         gen_mp = report["generate"][
             f"multiprocessing_jobs{JOBS}"]["dispatch_bytes"]
         gen_shm = report["generate"][f"shm_jobs{JOBS}"]["dispatch_bytes"]
-        report["summary"] = {
-            "fit_dispatch_reduction": round(fit_mp / max(fit_shm, 1), 1),
-            "generate_dispatch_reduction": round(gen_mp / max(gen_shm, 1), 1),
-            "generate_parallel_speedup": round(
+        # Each ratio records the host CPU count alongside its value:
+        # a "speedup" of 0.56 measured on a single-core box is not a
+        # regression, it is the absence of parallelism.
+        cpus = os.cpu_count() or 1
+        speedup = {
+            "value": round(
                 report["generate"]["serial_jobs1"]["wall_seconds"]
                 / max(report["generate"][f"shm_jobs{JOBS}"]["wall_seconds"],
                       1e-9), 2),
+            "cpus": cpus,
+        }
+        if cpus == 1:
+            speedup["skipped_reason"] = (
+                "single-CPU host: parallel backends cannot beat serial, "
+                "speedup gate not applied")
+        report["summary"] = {
+            "fit_dispatch_reduction": {
+                "value": round(fit_mp / max(fit_shm, 1), 1), "cpus": cpus},
+            "generate_dispatch_reduction": {
+                "value": round(gen_mp / max(gen_shm, 1), 1), "cpus": cpus},
+            "generate_parallel_speedup": speedup,
             "fit_bit_identical": fit_identical,
             "generate_bit_identical": gen_identical,
         }
+        report["alloc"] = _alloc_section()
         # -- telemetry: overhead, parity, journal coverage -------------
         # Re-run the multiprocessing fit+generate with a live journal
         # and compare wall clock against the telemetry-off runs above.
@@ -208,6 +299,7 @@ def bench():
         print(f"\nwrote {OUTPUT_PATH}")
         print(json.dumps(report["summary"], indent=2))
         print(json.dumps(report["telemetry"], indent=2))
+        print(json.dumps(report["alloc"], indent=2))
         return {"report": report, "models": models, "traces": traces}
     finally:
         if previous is None:
@@ -227,14 +319,15 @@ class TestRuntimePerf:
 
     def test_shm_cuts_fit_dispatch_bytes_10x(self, bench):
         summary = bench["report"]["summary"]
-        assert summary["fit_dispatch_reduction"] >= 10.0
+        assert summary["fit_dispatch_reduction"]["value"] >= 10.0
 
     def test_shm_cuts_generate_dispatch_bytes_10x(self, bench):
         summary = bench["report"]["summary"]
-        assert summary["generate_dispatch_reduction"] >= 10.0
+        assert summary["generate_dispatch_reduction"]["value"] >= 10.0
 
     @pytest.mark.skipif((os.cpu_count() or 1) < 4,
-                        reason="speedup gate needs >= 4 CPUs")
+                        reason="speedup gate needs >= 4 CPUs (the JSON "
+                        "records skipped_reason on single-CPU hosts)")
     def test_parallel_generate_beats_sequential(self, bench):
         """Acceptance: jobs=4 generation <= 0.7x sequential wall."""
         gen = bench["report"]["generate"]
@@ -243,10 +336,20 @@ class TestRuntimePerf:
                        gen[f"shm_jobs{JOBS}"]["wall_seconds"])
         assert parallel <= 0.7 * sequential
 
+    def test_speedup_gate_skip_is_recorded(self, bench):
+        """A single-CPU host must say so in the JSON instead of
+        publishing an inscrutable sub-1.0 'speedup'."""
+        speedup = bench["report"]["summary"]["generate_parallel_speedup"]
+        assert speedup["cpus"] == (os.cpu_count() or 1)
+        if speedup["cpus"] == 1:
+            assert "skipped_reason" in speedup
+        else:
+            assert "skipped_reason" not in speedup
+
     def test_report_written(self, bench):
         data = json.loads(OUTPUT_PATH.read_text())
         assert set(data) >= {"config", "cpus", "fit", "generate", "summary",
-                             "telemetry"}
+                             "telemetry", "alloc"}
         assert set(data["fit"]) == set(BACKENDS)
         for entry in data["fit"].values():
             assert entry["dispatch_bytes"] > 0
@@ -274,3 +377,20 @@ class TestRuntimePerf:
                         "smoke scale (sub-second walls)")
     def test_telemetry_overhead_under_5pct(self, bench):
         assert bench["report"]["telemetry"]["overhead_pct"] < 5.0
+
+    def test_pool_is_bit_identical(self, bench):
+        """Acceptance: REPRO_NN_POOL on/off must not change a single
+        loss or weight."""
+        assert bench["report"]["alloc"]["bit_identical_with_pool"]
+
+    def test_pool_hit_rate_gate(self, bench):
+        """CI gate: the pool must serve >= 90% of buffer requests from
+        its free lists across a whole smoke fit."""
+        assert bench["report"]["alloc"]["fit_hit_rate"] >= 0.90
+
+    def test_pool_cuts_disc_step_allocations_5x(self, bench):
+        """Acceptance: >= 5x fewer temp arrays per discriminator step
+        once the pool is warm (steady state is typically zero)."""
+        alloc = bench["report"]["alloc"]
+        assert alloc["disc_step_temp_arrays_unpooled"] >= 100
+        assert alloc["alloc_reduction"] >= 5.0

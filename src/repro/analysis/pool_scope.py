@@ -1,0 +1,98 @@
+"""Rule ``pool-scope``: pooled buffers are acquired only inside a
+``step_scope()``.
+
+The :class:`repro.nn.pool.BufferPool` recycles every buffer it handed
+out when the enclosing ``step_scope()`` exits — an array obtained from
+``POOL.take()`` / ``POOL.zeros()`` / ``POOL.ones()`` *outside* any
+scope is never recycled (it leaks out of the pool's accounting), and
+one obtained inside a scope but held past its exit gets overwritten by
+the next training step.  Training-loop code must therefore acquire
+pooled buffers only lexically inside a ``with ...step_scope():`` block,
+which is exactly what this rule enforces.
+
+The ``repro/nn/`` engine itself is exempt: its call sites are runtime-
+guarded (``if POOL.active:`` — true only inside an open scope) and its
+``zeros``/``ones`` helpers deliberately fall back to plain numpy
+allocation outside a scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .astutil import terminal_name
+from .findings import Finding
+from .rules import ModuleSource, Rule, register
+
+__all__ = ["PoolScopeRule"]
+
+_ACQUIRE_METHODS = frozenset({"take", "zeros", "ones"})
+
+
+def _receiver_is_pool(func: ast.Attribute) -> bool:
+    """True for ``<something named *pool*>.take/zeros/ones``."""
+    name = terminal_name(func.value)
+    return name is not None and "pool" in name.lower()
+
+
+def _opens_step_scope(with_node: ast.With) -> bool:
+    for item in with_node.items:
+        ctx = item.context_expr
+        if isinstance(ctx, ast.Call) and \
+                terminal_name(ctx.func) == "step_scope":
+            return True
+    return False
+
+
+class PoolScopeRule(Rule):
+    rule_id = "pool-scope"
+    description = (
+        "BufferPool take()/zeros()/ones() must be called lexically "
+        "inside a `with ...step_scope():` block — buffers acquired "
+        "outside a scope are never recycled, and the engine recycles "
+        "everything acquired inside one at scope exit"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        # The engine's own call sites are runtime-guarded on
+        # POOL.active; only consumer code must hold a lexical scope.
+        return "repro/nn/" not in path
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        parents = {}
+        for node in ast.walk(module.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[id(child)] = node
+
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _ACQUIRE_METHODS
+                    and _receiver_is_pool(node.func)):
+                continue
+            if self._inside_step_scope(node, parents):
+                continue
+            yield self.finding(module, node, (
+                f"pooled buffer acquired via .{node.func.attr}() outside "
+                "any step_scope(): wrap the training step in `with "
+                "POOL.step_scope():` so the buffer is recycled with the "
+                "step's generation"
+            ))
+
+    @staticmethod
+    def _inside_step_scope(node: ast.AST, parents) -> bool:
+        current = parents.get(id(node))
+        while current is not None:
+            if isinstance(current, ast.With) and _opens_step_scope(current):
+                return True
+            # A function boundary ends the lexical scope: a helper
+            # called from inside a scope is the caller's contract,
+            # not visible here.
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+            current = parents.get(id(current))
+        return False
+
+
+register(PoolScopeRule)

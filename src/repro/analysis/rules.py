@@ -99,6 +99,7 @@ def _load_default_rules() -> None:
         api_hygiene,
         determinism,
         numerics,
+        pool_scope,
         shm_hygiene,
         task_fields,
     )

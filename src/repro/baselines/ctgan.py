@@ -18,6 +18,8 @@ import numpy as np
 
 from ..core.encodings import BitEncoder, LogMinMaxEncoder, MinMaxEncoder, OneHotEncoder
 from ..datasets.records import ATTACK_TYPES, FlowTrace, PacketTrace
+from ..telemetry import emit_event
+from ..telemetry.spans import span as _span
 from .base import Synthesizer
 from .rowgan import ColumnSpec, RowGan, RowGanConfig
 
@@ -103,7 +105,12 @@ class CTGAN(Synthesizer):
             ])
         self._gan = RowGan(self._columns(self._kind), self.config,
                            seed=self.seed)
-        self._gan.fit(rows, epochs=self.epochs)
+        with _span("ctgan.fit", epochs=self.epochs, records=len(rows)):
+            emit_event("fit_start", model="ctgan", kind=self._kind,
+                       epochs=self.epochs, records=len(rows))
+            self._gan.fit(rows, epochs=self.epochs, telemetry_label="ctgan")
+            emit_event("fit_end", model="ctgan",
+                       cpu_seconds=self._gan.train_seconds)
         return self
 
     # ------------------------------------------------------------------

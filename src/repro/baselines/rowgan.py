@@ -31,6 +31,10 @@ from ..nn import (
     tensor,
 )
 from ..nn.functional import gumbel_softmax
+from ..nn.pool import POOL as _POOL
+from ..telemetry import emit_event
+from ..telemetry.spans import span
+from ..telemetry.state import STATE as _TELEMETRY
 
 __all__ = ["ColumnSpec", "RowGan", "RowGanConfig"]
 
@@ -178,9 +182,49 @@ class RowGan:
         excess = maximum(norms - 1.0, Tensor(np.zeros(norms.shape)))
         return excess.square().mean()
 
+    def _critic_step(self, rows: np.ndarray, n: int,
+                     conditions: Optional[np.ndarray]) -> float:
+        # Each step runs inside a pool scope: forward/backward/Adam
+        # temporaries recycle across steps (the loss leaves as a float).
+        with _POOL.step_scope():
+            idx = self._rng.integers(0, n, size=min(
+                self.config.batch_size, n))
+            cond_batch = (conditions[idx] if conditions is not None
+                          else None)
+            with no_grad():
+                fake_rows, fake_cond = self._fake_rows(len(idx), cond_batch)
+            real_in = self._disc_input(
+                tensor(rows[idx]),
+                tensor(cond_batch) if cond_batch is not None else None)
+            fake_in = self._disc_input(fake_rows.detach(), fake_cond)
+            loss = (self.discriminator(fake_in).mean()
+                    - self.discriminator(real_in).mean()
+                    + self.config.gp_weight
+                    * self._gradient_penalty(real_in, fake_in))
+            self._d_opt.step(grad(loss, self._d_params))
+            return loss.item()
+
+    def _generator_step(self, n: int,
+                        conditions: Optional[np.ndarray]) -> float:
+        with _POOL.step_scope():
+            idx = self._rng.integers(0, n, size=min(
+                self.config.batch_size, n))
+            cond_batch = (conditions[idx] if conditions is not None
+                          else None)
+            fake_rows, fake_cond = self._fake_rows(len(idx), cond_batch)
+            g_loss = -self.discriminator(
+                self._disc_input(fake_rows, fake_cond)).mean()
+            self._g_opt.step(grad(g_loss, self._g_params))
+            return g_loss.item()
+
     def fit(self, rows: np.ndarray, epochs: int = 30,
-            conditions: Optional[np.ndarray] = None) -> "RowGan":
-        """Train on (n, row_width) data, optionally conditioned."""
+            conditions: Optional[np.ndarray] = None,
+            telemetry_label: str = "rowgan") -> "RowGan":
+        """Train on (n, row_width) data, optionally conditioned.
+
+        ``telemetry_label`` names the owning baseline in journal epoch
+        events (CTGAN and friends delegate their training here).
+        """
         import time as _time
 
         rows = np.asarray(rows, dtype=np.float64)
@@ -193,35 +237,16 @@ class RowGan:
         n = len(rows)
         start = _time.perf_counter()
         steps = max(1, n // self.config.batch_size)
-        for _ in range(epochs):
-            for _ in range(steps):
-                for _ in range(self.config.n_critic):
-                    idx = self._rng.integers(0, n, size=min(
-                        self.config.batch_size, n))
-                    cond_batch = (conditions[idx] if conditions is not None
-                                  else None)
-                    with no_grad():
-                        fake_rows, fake_cond = self._fake_rows(
-                            len(idx), cond_batch)
-                    real_in = self._disc_input(
-                        tensor(rows[idx]),
-                        tensor(cond_batch) if cond_batch is not None else None)
-                    fake_in = self._disc_input(
-                        fake_rows.detach(), fake_cond)
-                    loss = (self.discriminator(fake_in).mean()
-                            - self.discriminator(real_in).mean()
-                            + self.config.gp_weight
-                            * self._gradient_penalty(real_in, fake_in))
-                    self._d_opt.step(grad(loss, self._d_params))
-                # generator step
-                idx = self._rng.integers(0, n, size=min(
-                    self.config.batch_size, n))
-                cond_batch = (conditions[idx] if conditions is not None
-                              else None)
-                fake_rows, fake_cond = self._fake_rows(len(idx), cond_batch)
-                g_loss = -self.discriminator(
-                    self._disc_input(fake_rows, fake_cond)).mean()
-                self._g_opt.step(grad(g_loss, self._g_params))
+        for epoch in range(epochs):
+            d_last = g_last = 0.0
+            with span("rowgan.epoch", label=telemetry_label, epoch=epoch):
+                for _ in range(steps):
+                    for _ in range(self.config.n_critic):
+                        d_last = self._critic_step(rows, n, conditions)
+                    g_last = self._generator_step(n, conditions)
+            if _TELEMETRY.enabled:
+                emit_event("epoch", model=telemetry_label, epoch=epoch,
+                           d_loss=d_last, g_loss=g_last)
         self.train_seconds += _time.perf_counter() - start
         return self
 

@@ -27,6 +27,10 @@ import numpy as np
 
 from ..datasets.records import FlowTrace
 from ..nn import Adam, Dense, Sequential, cross_entropy, grad, no_grad, tensor
+from ..nn.pool import POOL as _POOL
+from ..telemetry import emit_event
+from ..telemetry.spans import span as _span
+from ..telemetry.state import STATE as _TELEMETRY
 from .base import Synthesizer
 
 __all__ = ["Stan"]
@@ -159,19 +163,33 @@ class Stan(Synthesizer):
         }
 
         self._nets = {}
-        for name in self._FIELDS:
-            q = self._quantizers[name]
-            net = Sequential(
-                Dense(x.shape[1], self.hidden, "relu", rng=rng),
-                Dense(self.hidden, q.n_bins, "linear", rng=rng),
-            )
-            opt = Adam(net.parameters(), lr=0.01, beta1=0.9)
-            for _ in range(self.epochs):
-                batch = rng.integers(0, len(x), size=min(128, len(x)))
-                loss = cross_entropy(net(tensor(x[batch])),
-                                     targets[name][batch])
-                opt.step(grad(loss, net.parameters()))
-            self._nets[name] = net
+        with _span("stan.fit", epochs=self.epochs, records=len(trace)):
+            emit_event("fit_start", model="stan", epochs=self.epochs,
+                       records=len(trace), fields=list(self._FIELDS))
+            for name in self._FIELDS:
+                q = self._quantizers[name]
+                net = Sequential(
+                    Dense(x.shape[1], self.hidden, "relu", rng=rng),
+                    Dense(self.hidden, q.n_bins, "linear", rng=rng),
+                )
+                opt = Adam(net.parameters(), lr=0.01, beta1=0.9)
+                loss_val = 0.0
+                with _span("stan.field", field=name):
+                    for epoch in range(self.epochs):
+                        # One pool scope per batch step; the loss value
+                        # must be extracted before the scope closes.
+                        with _POOL.step_scope():
+                            batch = rng.integers(0, len(x),
+                                                 size=min(128, len(x)))
+                            loss = cross_entropy(net(tensor(x[batch])),
+                                                 targets[name][batch])
+                            opt.step(grad(loss, net.parameters()))
+                            loss_val = loss.item()
+                if _TELEMETRY.enabled:
+                    emit_event("epoch", model="stan", field=name,
+                               epoch=self.epochs - 1, loss=loss_val)
+                self._nets[name] = net
+            emit_event("fit_end", model="stan", fields=len(self._nets))
         self._fitted = True
         return self
 

@@ -47,6 +47,7 @@ from ..nn import (
     stack,
     tensor,
 )
+from ..nn.pool import POOL as _POOL
 from ..privacy.dpsgd import DpSgdConfig, privatize_gradients
 
 __all__ = ["DgConfig", "DoppelGANger", "TrainingLog"]
@@ -344,40 +345,47 @@ class DoppelGANger:
 
     # ------------------------------------------------------------------
     def _disc_step(self, data: EncodedFlows, batch_size: int) -> float:
-        n = len(data)
-        idx = self._rng.integers(0, n, size=min(batch_size, n))
-        real = self._real_batch(data, idx)
-        with no_grad():
-            fake = self._sample_fake(len(idx))
-        fake = tuple(t.detach() for t in fake)
+        # One step_scope per step: every temporary the forward/backward
+        # pass and the Adam update allocate inside is recycled on exit
+        # and reused next step (batch shapes are static).  Nothing
+        # pooled escapes: the loss leaves as a float.
+        with _POOL.step_scope():
+            n = len(data)
+            idx = self._rng.integers(0, n, size=min(batch_size, n))
+            real = self._real_batch(data, idx)
+            with no_grad():
+                fake = self._sample_fake(len(idx))
+            fake = tuple(t.detach() for t in fake)
 
-        real_flat = _with_batch_stats(_flatten_sample(*real))
-        fake_flat = _with_batch_stats(_flatten_sample(*fake))
-        loss = (self.disc(fake_flat).mean() - self.disc(real_flat).mean()
-                + self.config.gp_weight
-                * self._gradient_penalty(self.disc, real_flat, fake_flat))
-        if self.disc_aux is not None:
-            real_meta = _with_batch_stats(real[0])
-            fake_meta = _with_batch_stats(fake[0])
-            loss = loss + self.config.aux_weight * (
-                self.disc_aux(fake_meta).mean()
-                - self.disc_aux(real_meta).mean()
-                + self.config.gp_weight
-                * self._gradient_penalty(self.disc_aux, real_meta, fake_meta)
-            )
-        self._d_opt.step(grad(loss, self._d_params))
-        return loss.item()
+            real_flat = _with_batch_stats(_flatten_sample(*real))
+            fake_flat = _with_batch_stats(_flatten_sample(*fake))
+            loss = (self.disc(fake_flat).mean() - self.disc(real_flat).mean()
+                    + self.config.gp_weight
+                    * self._gradient_penalty(self.disc, real_flat, fake_flat))
+            if self.disc_aux is not None:
+                real_meta = _with_batch_stats(real[0])
+                fake_meta = _with_batch_stats(fake[0])
+                loss = loss + self.config.aux_weight * (
+                    self.disc_aux(fake_meta).mean()
+                    - self.disc_aux(real_meta).mean()
+                    + self.config.gp_weight
+                    * self._gradient_penalty(self.disc_aux, real_meta,
+                                             fake_meta)
+                )
+            self._d_opt.step(grad(loss, self._d_params))
+            return loss.item()
 
     def _gen_step(self, batch_size: int) -> float:
-        metadata, measurements, flags = self._sample_fake(batch_size)
-        fake_flat = _with_batch_stats(
-            _flatten_sample(metadata, measurements, flags))
-        loss = -self.disc(fake_flat).mean()
-        if self.disc_aux is not None:
-            loss = loss - self.config.aux_weight * self.disc_aux(
-                _with_batch_stats(metadata)).mean()
-        self._g_opt.step(grad(loss, self._g_params))
-        return loss.item()
+        with _POOL.step_scope():
+            metadata, measurements, flags = self._sample_fake(batch_size)
+            fake_flat = _with_batch_stats(
+                _flatten_sample(metadata, measurements, flags))
+            loss = -self.disc(fake_flat).mean()
+            if self.disc_aux is not None:
+                loss = loss - self.config.aux_weight * self.disc_aux(
+                    _with_batch_stats(metadata)).mean()
+            self._g_opt.step(grad(loss, self._g_params))
+            return loss.item()
 
     def fit(self, data: EncodedFlows, epochs: int = 20,
             verbose: bool = False) -> TrainingLog:
@@ -394,12 +402,13 @@ class DoppelGANger:
             for epoch in range(epochs):
                 epoch_start = time.perf_counter()
                 d_losses, g_losses = [], []
-                for _ in range(steps_per_epoch):
-                    for _ in range(self.config.n_critic):
-                        d_losses.append(
-                            self._disc_step(data, self.config.batch_size))
-                    g_losses.append(self._gen_step(self.config.batch_size))
-                    self.log.steps += 1
+                with span("dg.epoch", epoch=epoch):
+                    for _ in range(steps_per_epoch):
+                        for _ in range(self.config.n_critic):
+                            d_losses.append(
+                                self._disc_step(data, self.config.batch_size))
+                        g_losses.append(self._gen_step(self.config.batch_size))
+                        self.log.steps += 1
                 self.log.d_loss.append(float(np.mean(d_losses)))
                 self.log.g_loss.append(float(np.mean(g_losses)))
                 if _TELEMETRY.enabled:
@@ -441,16 +450,17 @@ class DoppelGANger:
             for epoch in range(epochs):
                 epoch_start = time.perf_counter()
                 d_losses, g_losses = [], []
-                for _ in range(steps_per_epoch):
-                    for _ in range(self.config.n_critic):
-                        d_losses.append(
-                            self._dp_disc_step(data, dp_config, noise_rng)
-                        )
-                    g_losses.append(self._gen_step(self.config.batch_size))
-                    for p in self._d_params:
-                        np.clip(p.data, -clip_weights, clip_weights,
-                                out=p.data)
-                    self.log.steps += 1
+                with span("dg.epoch", epoch=epoch):
+                    for _ in range(steps_per_epoch):
+                        for _ in range(self.config.n_critic):
+                            d_losses.append(
+                                self._dp_disc_step(data, dp_config, noise_rng)
+                            )
+                        g_losses.append(self._gen_step(self.config.batch_size))
+                        for p in self._d_params:
+                            np.clip(p.data, -clip_weights, clip_weights,
+                                    out=p.data)
+                        self.log.steps += 1
                 self.log.d_loss.append(float(np.mean(d_losses)))
                 self.log.g_loss.append(float(np.mean(g_losses)))
                 if _TELEMETRY.enabled:
@@ -465,33 +475,38 @@ class DoppelGANger:
 
     def _dp_disc_step(self, data: EncodedFlows, dp_config: DpSgdConfig,
                       noise_rng: np.random.Generator) -> float:
-        idx = self._rng.integers(0, len(data), size=min(
-            self.config.batch_size, len(data)))
-        with no_grad():
-            fake = self._sample_fake(len(idx))
-        fake = tuple(t.detach() for t in fake)
-        fake_flat_all = _flatten_sample(*fake)
+        # The per-example gradient lists are pooled buffers, so the
+        # whole step — including privatize_gradients, which consumes
+        # them — must sit inside one scope.
+        with _POOL.step_scope():
+            idx = self._rng.integers(0, len(data), size=min(
+                self.config.batch_size, len(data)))
+            with no_grad():
+                fake = self._sample_fake(len(idx))
+            fake = tuple(t.detach() for t in fake)
+            fake_flat_all = _flatten_sample(*fake)
 
-        per_example = []
-        losses = []
-        for j, i in enumerate(idx):
-            real = self._real_batch(data, np.array([i]))
-            # Per-example DP gradients: each example forms its own
-            # "batch", so the batch-mean feature equals the sample.
-            real_flat = _with_batch_stats(_flatten_sample(*real))
-            fake_j = _with_batch_stats(fake_flat_all[j:j + 1])
-            loss = self.disc(fake_j).mean() - self.disc(real_flat).mean()
-            if self.disc_aux is not None:
-                loss = loss + self.config.aux_weight * (
-                    self.disc_aux(_with_batch_stats(fake[0][j:j + 1])).mean()
-                    - self.disc_aux(_with_batch_stats(real[0])).mean()
-                )
-            grads = grad(loss, self._d_params)
-            per_example.append([g.data for g in grads])
-            losses.append(loss.item())
-        noisy = privatize_gradients(per_example, dp_config, noise_rng)
-        self._d_opt.step(noisy)
-        return float(np.mean(losses))
+            per_example = []
+            losses = []
+            for j, i in enumerate(idx):
+                real = self._real_batch(data, np.array([i]))
+                # Per-example DP gradients: each example forms its own
+                # "batch", so the batch-mean feature equals the sample.
+                real_flat = _with_batch_stats(_flatten_sample(*real))
+                fake_j = _with_batch_stats(fake_flat_all[j:j + 1])
+                loss = self.disc(fake_j).mean() - self.disc(real_flat).mean()
+                if self.disc_aux is not None:
+                    loss = loss + self.config.aux_weight * (
+                        self.disc_aux(
+                            _with_batch_stats(fake[0][j:j + 1])).mean()
+                        - self.disc_aux(_with_batch_stats(real[0])).mean()
+                    )
+                grads = grad(loss, self._d_params)
+                per_example.append([g.data for g in grads])
+                losses.append(loss.item())
+            noisy = privatize_gradients(per_example, dp_config, noise_rng)
+            self._d_opt.step(noisy)
+            return float(np.mean(losses))
 
     # ------------------------------------------------------------------
     def generate(self, n: int, seed: Optional[int] = None) -> EncodedFlows:

@@ -40,6 +40,7 @@ from .layers import (
     Sequential,
 )
 from .optim import SGD, Adam, Optimizer, clip_global_norm
+from .pool import BufferPool, POOL, POOL_ENV_VAR, pool_active
 
 __all__ = [
     "Tensor", "tensor", "grad", "no_grad", "is_grad_enabled",
@@ -51,4 +52,5 @@ __all__ = [
     "LSTMCell", "LSTM",
     "LayerNorm", "Embedding",
     "Optimizer", "SGD", "Adam", "clip_global_norm",
+    "BufferPool", "POOL", "POOL_ENV_VAR", "pool_active",
 ]

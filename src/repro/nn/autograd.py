@@ -31,6 +31,8 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .pool import POOL as _POOL
+
 __all__ = [
     "Tensor",
     "tensor",
@@ -45,6 +47,28 @@ __all__ = [
 ]
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple, "Tensor"]
+
+# The pooled fast paths below only fire for float64 operands (the
+# engine-wide dtype; ``_as_array`` coerces everything to it) while a
+# BufferPool step scope is open.  Each is the same numpy ufunc with an
+# ``out=`` scratch buffer, so results are bit-identical to the
+# allocating form — REPRO_NN_POOL=0 keeps the original path as the
+# parity oracle.
+_F64 = np.dtype(np.float64)
+
+# np.broadcast_shapes costs ~1.3us per call — more than the broadcast
+# add it precedes — so the pooled fast paths memoize it.  Training
+# loops see a handful of static shape pairs, bounding the cache.
+_BCAST_SHAPES: dict = {}
+
+
+def _bcast_shape(sa, sb):
+    key = (sa, sb)
+    shape = _BCAST_SHAPES.get(key)
+    if shape is None:
+        shape = _BCAST_SHAPES[key] = np.broadcast_shapes(sa, sb)
+    return shape
+
 
 _state = threading.local()
 
@@ -157,7 +181,13 @@ class Tensor:
     # ------------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = _ensure_tensor(other)
-        out_data = self.data + other.data
+        a, b = self.data, other.data
+        if _POOL.active and a.dtype == _F64 and b.dtype == _F64:
+            shape = a.shape if a.shape == b.shape else _bcast_shape(
+                a.shape, b.shape)
+            out_data = np.add(a, b, out=_POOL.take(shape))
+        else:
+            out_data = a + b
 
         def vjp(g: "Tensor"):
             return (
@@ -173,7 +203,12 @@ class Tensor:
         def vjp(g: "Tensor"):
             return (-g,)
 
-        return Tensor._make(-self.data, (self,), vjp)
+        data = self.data
+        if _POOL.active and data.dtype == _F64:
+            out_data = np.negative(data, out=_POOL.take(data.shape))
+        else:
+            out_data = -data
+        return Tensor._make(out_data, (self,), vjp)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-_ensure_tensor(other))
@@ -183,7 +218,13 @@ class Tensor:
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = _ensure_tensor(other)
-        out_data = self.data * other.data
+        a, b = self.data, other.data
+        if _POOL.active and a.dtype == _F64 and b.dtype == _F64:
+            shape = a.shape if a.shape == b.shape else _bcast_shape(
+                a.shape, b.shape)
+            out_data = np.multiply(a, b, out=_POOL.take(shape))
+        else:
+            out_data = a * b
 
         def vjp(g: "Tensor"):
             return (
@@ -222,7 +263,12 @@ class Tensor:
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = _ensure_tensor(other)
-        out_data = self.data @ other.data
+        a, b = self.data, other.data
+        if (_POOL.active and a.ndim == 2 and b.ndim == 2
+                and a.dtype == _F64 and b.dtype == _F64):
+            out_data = np.matmul(a, b, out=_POOL.take((a.shape[0], b.shape[1])))
+        else:
+            out_data = a @ b
 
         def vjp(g: "Tensor"):
             return (g @ other.T, self.T @ g)
@@ -347,7 +393,11 @@ class Tensor:
 
     def broadcast_to(self, shape: Tuple[int, ...]) -> "Tensor":
         original = self.shape
-        out_data = np.broadcast_to(self.data, shape).copy()
+        if _POOL.active and self.data.dtype == _F64:
+            out_data = _POOL.take(tuple(shape))
+            np.copyto(out_data, self.data)
+        else:
+            out_data = np.broadcast_to(self.data, shape).copy()
 
         def vjp(g: "Tensor"):
             return (_unbroadcast(g, original),)
@@ -377,11 +427,11 @@ class Tensor:
         shape = self.shape
 
         def vjp(g: "Tensor"):
-            scatter = np.zeros(shape, dtype=np.float64)
-            np.add.at(scatter, index, g.data)
             if g.requires_grad:
                 # Build a differentiable scatter for second-order use.
                 return (_ScatterHelper(shape, index)(g),)
+            scatter = _POOL.zeros(shape)
+            np.add.at(scatter, index, g.data)
             return (Tensor(scatter),)
 
         return Tensor._make(out_data, (self,), vjp)
@@ -408,7 +458,7 @@ class _ScatterHelper:
         self.index = index
 
     def __call__(self, g: Tensor) -> Tensor:
-        scatter = np.zeros(self.shape, dtype=np.float64)
+        scatter = _POOL.zeros(self.shape)
         np.add.at(scatter, self.index, g.data)
         index = self.index
 
@@ -459,7 +509,14 @@ def None_safe_shape(shape: Tuple[int, ...], axis, keep: bool):
 # ----------------------------------------------------------------------
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     tensors = [_ensure_tensor(t) for t in tensors]
-    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    arrays = [t.data for t in tensors]
+    if _POOL.active and all(a.dtype == _F64 for a in arrays):
+        shape = list(arrays[0].shape)
+        shape[axis] = sum(a.shape[axis] for a in arrays)
+        out_data = np.concatenate(arrays, axis=axis,
+                                  out=_POOL.take(tuple(shape)))
+    else:
+        out_data = np.concatenate(arrays, axis=axis)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -554,11 +611,11 @@ def grad(
         raise ValueError("grad() requires a scalar output; call .sum() or .mean() first")
     if not output.requires_grad:
         if allow_unused:
-            return [Tensor(np.zeros(t.shape)) for t in inputs]
+            return [Tensor(_POOL.zeros(t.shape)) for t in inputs]
         raise ValueError("output does not require grad")
 
     order = _topo_order(output)
-    cotangents = {id(output): Tensor(np.ones(output.shape))}
+    cotangents = {id(output): Tensor(_POOL.ones(output.shape))}
     input_ids = {id(t) for t in inputs}
     captured = {}
 
@@ -588,6 +645,6 @@ def grad(
             if g is None:
                 if not allow_unused:
                     raise ValueError("an input was not reached by backprop")
-                g = Tensor(np.zeros(t.shape))
+                g = Tensor(_POOL.zeros(t.shape))
             results.append(g)
     return results

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..telemetry.state import STATE as _TELEMETRY
 from .autograd import Tensor, concatenate, no_grad
+from .pool import POOL as _POOL
 
 __all__ = [
     "Module",
@@ -207,7 +208,7 @@ class GRUCell(Module):
         return (1.0 - z) * h + z * candidate
 
     def initial_state(self, batch_size: int) -> Tensor:
-        return Tensor(np.zeros((batch_size, self.hidden_size)))
+        return Tensor(_POOL.zeros((batch_size, self.hidden_size)))
 
 
 class GRU(Module):
@@ -279,8 +280,8 @@ class LSTMCell(Module):
         return h_new, c_new
 
     def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
-        zeros = np.zeros((batch_size, self.hidden_size))
-        return Tensor(zeros.copy()), Tensor(zeros.copy())
+        shape = (batch_size, self.hidden_size)
+        return Tensor(_POOL.zeros(shape)), Tensor(_POOL.zeros(shape))
 
 
 class LSTM(Module):

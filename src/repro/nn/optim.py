@@ -16,6 +16,7 @@ import numpy as np
 from ..telemetry.state import STATE as _TELEMETRY
 from .autograd import Tensor
 from .layers import Parameter
+from .pool import POOL as _POOL
 
 __all__ = ["Optimizer", "SGD", "Adam", "clip_global_norm"]
 
@@ -67,6 +68,17 @@ class SGD(Optimizer):
 
     def _apply_step(self, grads: Sequence[Tensor]) -> None:
         grads = self._check(grads)
+        if _POOL.active:
+            # Allocation-free update path: pooled scratch plus in-place
+            # writes.  ``v * lr`` commutes bitwise with ``lr * v``, so
+            # this is bit-identical to the allocating branch below.
+            for p, g, v in zip(self.params, grads, self.velocity):
+                v *= self.momentum
+                v += g
+                s = _POOL.take(v.shape)
+                np.multiply(v, self.lr, out=s)
+                np.subtract(p.data, s, out=p.data)
+            return
         for p, g, v in zip(self.params, grads, self.velocity):
             v *= self.momentum
             v += g
@@ -89,6 +101,32 @@ class Adam(Optimizer):
         self.t += 1
         bias1 = 1.0 - self.beta1**self.t
         bias2 = 1.0 - self.beta2**self.t
+        if _POOL.active:
+            # Allocation-free update path.  Bit-identity with the
+            # allocating branch below rests on two facts: scalar
+            # broadcasts commute exactly (``g * (1-b)`` == ``(1-b) * g``,
+            # ``(m/bias1) * lr`` == ``lr * (m/bias1)``), and the
+            # elementwise evaluation order is otherwise preserved —
+            # e.g. ``(1-b2)*g*g`` groups as ``((1-b2)*g)*g`` and the
+            # denominator is ``sqrt(v/bias2) + eps`` before the divide.
+            for p, g, m, v in zip(self.params, grads, self.m, self.v):
+                s = _POOL.take(g.shape)
+                m *= self.beta1
+                np.multiply(g, 1.0 - self.beta1, out=s)
+                m += s
+                v *= self.beta2
+                np.multiply(g, 1.0 - self.beta2, out=s)
+                s *= g
+                v += s
+                u = _POOL.take(g.shape)
+                np.divide(v, bias2, out=u)
+                np.sqrt(u, out=u)
+                u += self.eps
+                np.divide(m, bias1, out=s)
+                s *= self.lr
+                np.divide(s, u, out=s)
+                np.subtract(p.data, s, out=p.data)
+            return
         for p, g, m, v in zip(self.params, grads, self.m, self.v):
             m *= self.beta1
             m += (1.0 - self.beta1) * g

@@ -1,0 +1,224 @@
+"""Step-scoped buffer pool: allocation-free training steps.
+
+Every GAN fit in this repository is thousands of *identical-shape*
+training steps (DoppelGANger's per-chunk fine-tuning multiplies this
+across chunks), yet each step's forward and backward pass allocates a
+fresh ``float64`` temporary for every op.  The original NetShare got
+buffer reuse for free from TensorFlow's static graph; this module
+reproduces that property on numpy with an explicit pool.
+
+How it works
+------------
+:class:`BufferPool` hands out shape-keyed scratch arrays.  A training
+loop wraps each step in :meth:`BufferPool.step_scope`; while a scope
+is active, the engine's hot kernels (``repro.nn.autograd`` ops,
+optimizer updates) draw their output buffers from the pool instead of
+allocating.  At scope exit every buffer handed out during the step is
+recycled onto per-shape free lists, so step N+1 re-uses step N's
+arrays — GAN batch shapes are static, so after a one-step warmup the
+hot loop allocates (almost) nothing.
+
+Safety argument, in two invariants:
+
+* **No intra-step aliasing** — a buffer is handed out at most once per
+  step (``take`` advances a per-shape cursor past each buffer it hands
+  out, and cursors only rewind when the scope exits), so two live
+  tensors in one step's graph never share memory.
+* **No cross-step escape** — recycling only happens at scope exit, by
+  which point the step's graph is dead: losses have been reduced to
+  floats, gradients consumed by the optimizer, and parameters /
+  optimizer moments live in their own persistent (never pooled)
+  arrays.  Holding a pooled tensor across steps is a contract
+  violation; the ``pool-scope`` analysis rule and
+  ``tests/test_nn_pool.py`` guard the convention.
+
+Bit-identity: the pooled kernels are the same numpy ufuncs with an
+``out=`` argument — ``np.add(a, b, out=buf)`` performs exactly the
+computation of ``a + b`` — so pooled and unpooled runs produce
+bit-identical losses, parameters, and samples (the parity tests and
+the runtime bench assert this).  ``REPRO_NN_POOL=0`` disables the
+pool entirely, preserving the original allocating path as the parity
+oracle.
+
+The pool is process-local and single-threaded, like the rest of the
+``repro.nn`` engine; forked workers inherit an idle pool and warm
+their own free lists.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..telemetry.state import STATE as _TELEMETRY
+
+__all__ = ["BufferPool", "POOL", "POOL_ENV_VAR", "pool_active"]
+
+#: Set to ``0`` / ``false`` / ``off`` to disable buffer pooling and
+#: fall back to the original allocate-per-op kernels (parity oracle).
+POOL_ENV_VAR = "REPRO_NN_POOL"
+
+_OFF_VALUES = frozenset({"0", "false", "off", "no"})
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(POOL_ENV_VAR, "1").strip().lower() not in _OFF_VALUES
+
+
+class BufferPool:
+    """Shape-keyed scratch arrays with per-step generation recycling.
+
+    ``active`` is the one attribute the engine's hot ops test: it is
+    True exactly while an (enabled) :meth:`step_scope` is open, so the
+    disabled path costs a single attribute load per op.
+    """
+
+    __slots__ = ("enabled", "active", "hits", "misses",
+                 "_depth", "_free", "_scope_misses",
+                 "_published_hits", "_published_misses")
+
+    def __init__(self, enabled: bool = None):
+        self.enabled = _env_enabled() if enabled is None else bool(enabled)
+        self.active = False
+        self.hits = 0        # requests served from a free list (reuse)
+        self.misses = 0      # requests that had to allocate (warmup)
+        self._depth = 0
+        # shape -> [cursor, buffers].  `cursor` counts how many of the
+        # shape's buffers the current step has handed out; recycling is
+        # just resetting every cursor to 0 (no per-buffer list churn).
+        self._free: Dict[Tuple[int, ...], List] = {}
+        self._scope_misses = 0
+        self._published_hits = 0
+        self._published_misses = 0
+
+    # ------------------------------------------------------------------
+    # acquisition (valid only inside a step_scope; the engine guards
+    # every call site with `if POOL.active:`)
+    # ------------------------------------------------------------------
+    def take(self, shape: Tuple[int, ...]) -> np.ndarray:
+        """Hand out a float64 scratch array of ``shape`` (uninitialized
+        contents).  The buffer stays live until the scope exits.
+
+        The hit path is deliberately lean — a dict probe and a cursor
+        bump — because the hot loop calls this hundreds of times per
+        training step.  Hits are tallied lazily at scope exit (total
+        cursor advances minus this scope's misses), keeping counter
+        bookkeeping off the fast path.
+        """
+        entry = self._free.get(shape)
+        if entry is not None:
+            cursor = entry[0]
+            bufs = entry[1]
+            if cursor < len(bufs):
+                entry[0] = cursor + 1
+                return bufs[cursor]
+            entry[0] = cursor + 1
+        else:
+            bufs = []
+            self._free[shape] = [1, bufs]
+        buf = np.empty(shape)
+        bufs.append(buf)
+        self.misses += 1
+        return buf
+
+    def zeros(self, shape: Tuple[int, ...]) -> np.ndarray:
+        """Zero-filled scratch: pooled inside a scope, plain
+        ``np.zeros`` outside (grad() runs outside scopes in tests and
+        the classifier substrate)."""
+        if not self.active:
+            return np.zeros(shape)
+        buf = self.take(shape)
+        buf.fill(0.0)
+        return buf
+
+    def ones(self, shape: Tuple[int, ...]) -> np.ndarray:
+        """One-filled scratch (the backprop seed cotangent)."""
+        if not self.active:
+            return np.ones(shape)
+        buf = self.take(shape)
+        buf.fill(1.0)
+        return buf
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def step_scope(self):
+        """Scope one training step: buffers taken inside are recycled
+        (all at once) when the outermost scope exits."""
+        if not self.enabled:
+            yield self
+            return
+        self._depth += 1
+        if self._depth == 1:
+            self.active = True
+            self._scope_misses = self.misses
+        try:
+            yield self
+        finally:
+            self._depth -= 1
+            if self._depth == 0:
+                self.active = False
+                self._recycle()
+
+    def _recycle(self) -> None:
+        taken = 0
+        for entry in self._free.values():
+            taken += entry[0]
+            entry[0] = 0
+        self.hits += taken - (self.misses - self._scope_misses)
+        if _TELEMETRY.enabled:
+            registry = _TELEMETRY.registry
+            registry.counter("nn.alloc.pooled").inc(
+                self.hits - self._published_hits)
+            registry.counter("nn.alloc.missed").inc(
+                self.misses - self._published_misses)
+            self._published_hits = self.hits
+            self._published_misses = self.misses
+
+    def configure(self, enabled: bool) -> None:
+        """Flip pooling on/off (tests and the parity bench).  Refused
+        mid-step: live buffers must drain through their scope first."""
+        if self._depth:
+            raise RuntimeError("cannot reconfigure the pool inside an "
+                               "open step_scope")
+        self.enabled = bool(enabled)
+        if not self.enabled:
+            self.reset()
+
+    def reset(self) -> None:
+        """Drop free lists and counters (never call mid-step)."""
+        if self._depth:
+            raise RuntimeError("cannot reset the pool inside an open "
+                               "step_scope")
+        self._free.clear()
+        self.hits = 0
+        self.misses = 0
+        self._scope_misses = 0
+        self._published_hits = 0
+        self._published_misses = 0
+
+    def stats(self) -> Dict[str, float]:
+        """Counter snapshot (hits settle when a scope exits, so read
+        between steps, not mid-step)."""
+        requests = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / requests if requests else 0.0,
+            "free_buffers": sum(len(e[1]) - e[0]
+                                for e in self._free.values()),
+            "free_shapes": len(self._free),
+        }
+
+
+#: The process-wide pool every engine hot path draws from.
+POOL = BufferPool()
+
+
+def pool_active() -> bool:
+    """True while an enabled step scope is open in this process."""
+    return POOL.active

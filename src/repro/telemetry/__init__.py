@@ -75,6 +75,7 @@ __all__ = [
     "export_worker_payload",
     "absorb_worker_payload",
     "NN_TIMING_ENV_VAR",
+    "SAMPLE_ENV_VAR",
 ]
 
 #: Set (non-empty) to enable per-layer forward / optimizer step timing
@@ -82,15 +83,28 @@ __all__ = [
 #: timing multiplies instrument calls by the step count.
 NN_TIMING_ENV_VAR = "REPRO_TELEMETRY_NN"
 
+#: ``REPRO_TELEMETRY_SAMPLE=<n>`` keeps every n-th per-epoch span and
+#: ``epoch`` journal event (per span name / per model), bounding long
+#: runs' journal size.  Root spans and structural events (fit/chunk/
+#: generate start and end) are always kept.
+SAMPLE_ENV_VAR = "REPRO_TELEMETRY_SAMPLE"
+
+#: Event types eligible for sampling; everything else always lands.
+_SAMPLED_EVENTS = frozenset({"epoch"})
+#: Per-``(event_type, model)`` occurrence counters.
+_EVENT_COUNTS: Dict[str, int] = {}
+
 
 def configure(journal_dir=None, run_id: Optional[str] = None,
               label: Optional[str] = None,
-              nn_timing: Optional[bool] = None) -> Optional[RunJournal]:
+              nn_timing: Optional[bool] = None,
+              sample: Optional[int] = None) -> Optional[RunJournal]:
     """Enable telemetry for this process (idempotent; reconfigures).
 
     With ``journal_dir``, events stream to ``<journal_dir>/<run_id>/``
     and the journal is returned.  ``nn_timing`` defaults to the
-    ``REPRO_TELEMETRY_NN`` environment variable.
+    ``REPRO_TELEMETRY_NN`` environment variable; ``sample`` (keep every
+    n-th per-epoch span/event) to ``REPRO_TELEMETRY_SAMPLE``.
     """
     shutdown()
     STATE.enabled = True
@@ -98,6 +112,10 @@ def configure(journal_dir=None, run_id: Optional[str] = None,
     if nn_timing is None:
         nn_timing = bool(os.environ.get(NN_TIMING_ENV_VAR, "").strip())
     STATE.nn_timing = bool(nn_timing)
+    if sample is None:
+        raw = os.environ.get(SAMPLE_ENV_VAR, "").strip()
+        sample = int(raw) if raw else 1
+    STATE.sample_n = max(1, int(sample))
     if journal_dir is not None:
         STATE.journal = RunJournal(journal_dir, run_id=run_id, label=label)
         STATE.run_id = STATE.journal.run_id
@@ -118,16 +136,18 @@ def shutdown() -> None:
         journal.event("run_end", events=journal.events_written + 1)
         journal.close()
     _spans.reset()
+    _EVENT_COUNTS.clear()
     STATE.reset()
 
 
 @_contextmanager
 def session(journal_dir=None, run_id: Optional[str] = None,
-            label: Optional[str] = None, nn_timing: Optional[bool] = None):
+            label: Optional[str] = None, nn_timing: Optional[bool] = None,
+            sample: Optional[int] = None):
     """``with telemetry.session(journal_dir=...):`` — configure on
     entry, flush and disable on exit (even on error)."""
     journal = configure(journal_dir=journal_dir, run_id=run_id,
-                        label=label, nn_timing=nn_timing)
+                        label=label, nn_timing=nn_timing, sample=sample)
     try:
         yield journal
     finally:
@@ -149,11 +169,20 @@ def emit_event(event_type: str, **fields: Any) -> None:
 
     Workers have no journal (they buffer spans/metrics instead), so
     task-side calls are free no-ops — orchestrator-side calls are the
-    ones that land in ``events.jsonl``.
+    ones that land in ``events.jsonl``.  High-frequency ``epoch``
+    events honour ``STATE.sample_n`` (every n-th per model kept);
+    structural events always land.
     """
     journal = STATE.journal
-    if journal is not None:
-        journal.event(event_type, **fields)
+    if journal is None:
+        return
+    if STATE.sample_n > 1 and event_type in _SAMPLED_EVENTS:
+        key = f"{event_type}:{fields.get('model', '')}"
+        count = _EVENT_COUNTS.get(key, 0)
+        _EVENT_COUNTS[key] = count + 1
+        if count % STATE.sample_n:
+            return
+    journal.event(event_type, **fields)
 
 
 # ----------------------------------------------------------------------

@@ -40,6 +40,7 @@ __all__ = [
     "export_pending",
     "attach_children",
     "reset",
+    "SAMPLED_SPANS",
 ]
 
 #: Open spans, innermost last (the runtime is single-threaded per
@@ -50,6 +51,14 @@ _PENDING: List[Dict[str, Any]] = []
 _PENDING_LIMIT = 256
 #: Ambient task id (set by the executor around each task execution).
 _TASK_ID: Optional[int] = None
+
+#: High-frequency per-epoch spans eligible for ``STATE.sample_n``
+#: sampling.  Root spans (fit/chunk/generate and the worker task roots)
+#: are deliberately absent: sampling must never drop the tree's anchor
+#: points, only thin the repetitive per-epoch interior.
+SAMPLED_SPANS = frozenset({"dg.epoch", "rowgan.epoch", "stan.field"})
+#: Per-name occurrence counters driving every-n-th selection.
+_SAMPLE_COUNTS: Dict[str, int] = {}
 
 
 class Span:
@@ -109,6 +118,12 @@ def span(name: str, **attrs: Any):
     if not STATE.enabled:
         yield None
         return
+    if STATE.sample_n > 1 and name in SAMPLED_SPANS:
+        count = _SAMPLE_COUNTS.get(name, 0)
+        _SAMPLE_COUNTS[name] = count + 1
+        if count % STATE.sample_n:
+            yield None
+            return
     record = Span(name, attrs)
     _STACK.append(record)
     try:
@@ -158,4 +173,5 @@ def reset() -> None:
     """Drop all span state (session teardown / worker-task setup)."""
     _STACK.clear()
     _PENDING.clear()
+    _SAMPLE_COUNTS.clear()
     set_task(None)

@@ -26,7 +26,7 @@ class TelemetryState:
     """Process-local telemetry switchboard (see module docstring)."""
 
     __slots__ = ("enabled", "nn_timing", "registry", "journal", "run_id",
-                 "worker_mode")
+                 "worker_mode", "sample_n")
 
     def __init__(self):
         self.enabled: bool = False
@@ -35,6 +35,9 @@ class TelemetryState:
         self.journal = None          # Optional[RunJournal]
         self.run_id: Optional[str] = None
         self.worker_mode: bool = False
+        # Keep every n-th high-frequency span/epoch event (1 = keep all;
+        # fit/chunk/generate roots are never sampled away).
+        self.sample_n: int = 1
 
     def reset(self) -> None:
         self.enabled = False
@@ -43,6 +46,7 @@ class TelemetryState:
         self.journal = None
         self.run_id = None
         self.worker_mode = False
+        self.sample_n = 1
 
 
 #: The process-wide telemetry state.

@@ -1,0 +1,18 @@
+"""Positive fixture: exactly one `pool-scope` finding.
+
+The scratch buffer is taken outside any step_scope(), so the pool
+never recycles it — its accounting leaks and the next scoped step may
+hand the same shape out twice.
+"""
+
+import numpy as np
+
+from repro.nn.pool import POOL
+
+
+def accumulate(grads):
+    total = POOL.take(grads[0].shape)
+    total.fill(0.0)
+    for g in grads:
+        np.add(total, g, out=total)
+    return total.copy()

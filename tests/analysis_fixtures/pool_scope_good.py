@@ -1,0 +1,15 @@
+"""Negative fixture: pooled buffers acquired inside step_scope() only."""
+
+import numpy as np
+
+from repro.nn.pool import POOL
+
+
+def train_step(params, grads, lr):
+    with POOL.step_scope():
+        for p, g in zip(params, grads):
+            s = POOL.take(g.shape)
+            np.multiply(g, lr, out=s)
+            np.subtract(p, s, out=p)
+        seed = POOL.zeros(params[0].shape)
+        return float(seed.sum())

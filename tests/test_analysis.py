@@ -45,6 +45,7 @@ RULE_CASES = {
     "numerical_stability": ("numerical-stability",
                             "src/repro/metrics/fixture.py"),
     "api_hygiene": ("api-hygiene", "src/repro/core/fixture.py"),
+    "pool_scope": ("pool-scope", "src/repro/core/fixture.py"),
 }
 
 

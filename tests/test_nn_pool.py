@@ -1,0 +1,246 @@
+"""Tests for the repro.nn.pool buffer planner: pool mechanics and the
+pooled-vs-unpooled bitwise parity contract."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.baselines import EWganGp, Stan
+from repro.core.flow_encoder import EncodedFlows
+from repro.datasets import load_dataset
+from repro.gan.doppelganger import DgConfig, DoppelGANger
+from repro.nn import SGD, Dense, Tensor, grad, tensor
+from repro.nn.pool import POOL, BufferPool
+
+
+@pytest.fixture(autouse=True)
+def clean_pool():
+    """Each test starts from an enabled, empty pool and leaves it so."""
+    POOL.configure(True)
+    yield
+    POOL.configure(True)
+    POOL.reset()
+
+
+def small_flows(seed=0, n=48):
+    rng = np.random.default_rng(seed)
+    return EncodedFlows(
+        rng.uniform(size=(n, 6)),
+        rng.uniform(size=(n, 4, 3)),
+        np.ones((n, 4)),
+    )
+
+
+def small_config(**overrides):
+    base = dict(metadata_dim=6, measurement_dim=3, max_timesteps=4,
+                batch_size=16, meta_hidden=16, rnn_hidden=16, disc_hidden=16)
+    base.update(overrides)
+    return DgConfig(**base)
+
+
+class TestBufferPool:
+    def test_reuses_buffers_across_steps(self):
+        pool = BufferPool(enabled=True)
+        with pool.step_scope():
+            first = pool.take((8, 4))
+        with pool.step_scope():
+            second = pool.take((8, 4))
+        assert first is second
+        assert pool.stats()["hits"] == 1
+        assert pool.stats()["misses"] == 1
+
+    def test_no_aliasing_within_a_step(self):
+        pool = BufferPool(enabled=True)
+        with pool.step_scope():
+            a = pool.take((4,))
+            b = pool.take((4,))
+            assert a is not b
+
+    def test_zeros_and_ones_are_filled(self):
+        pool = BufferPool(enabled=True)
+        with pool.step_scope():
+            z = pool.take((3, 3))
+            z.fill(99.0)  # dirty the buffer
+        with pool.step_scope():
+            z = pool.zeros((3, 3))
+            o = pool.ones((3, 3))
+            np.testing.assert_array_equal(z, np.zeros((3, 3)))
+            np.testing.assert_array_equal(o, np.ones((3, 3)))
+
+    def test_zeros_falls_back_outside_scope(self):
+        pool = BufferPool(enabled=True)
+        z = pool.zeros((2, 2))  # repro: ignore[pool-scope]
+        np.testing.assert_array_equal(z, np.zeros((2, 2)))
+        assert pool.stats()["hits"] == 0
+        assert pool.stats()["misses"] == 0
+
+    def test_nested_scopes_recycle_at_outermost_exit(self):
+        pool = BufferPool(enabled=True)
+        with pool.step_scope():
+            outer = pool.take((5,))
+            with pool.step_scope():
+                inner = pool.take((5,))
+            # Inner exit must NOT recycle: outer's buffer is still live.
+            assert pool.take((5,)) is not outer
+            assert pool.take((5,)) is not inner
+        assert pool.stats()["free_buffers"] == 4
+
+    def test_disabled_pool_scope_is_a_noop(self):
+        pool = BufferPool(enabled=False)
+        with pool.step_scope():
+            assert not pool.active
+
+    def test_configure_and_reset_refused_mid_scope(self):
+        pool = BufferPool(enabled=True)
+        with pool.step_scope():
+            with pytest.raises(RuntimeError):
+                pool.configure(False)
+            with pytest.raises(RuntimeError):
+                pool.reset()
+
+    def test_env_gate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_POOL", "0")
+        assert not BufferPool().enabled
+        monkeypatch.setenv("REPRO_NN_POOL", "1")
+        assert BufferPool().enabled
+        monkeypatch.delenv("REPRO_NN_POOL")
+        assert BufferPool().enabled
+
+    def test_alloc_counters_published_to_telemetry(self):
+        with telemetry.session():
+            with POOL.step_scope():
+                POOL.take((4, 4))
+                POOL.take((4, 4))
+            with POOL.step_scope():
+                POOL.take((4, 4))
+            snapshot = telemetry.metrics().snapshot()
+            counters = snapshot["counters"]
+            assert counters["nn.alloc.missed"] == 2
+            assert counters["nn.alloc.pooled"] == 1
+
+
+class TestGradWithPool:
+    def test_grads_inside_scope_match_unpooled(self):
+        def losses(pooled):
+            POOL.configure(pooled)
+            layer = Dense(4, 3, "tanh", rng=np.random.default_rng(5))
+            x = tensor(np.random.default_rng(7).normal(size=(8, 4)))
+            if pooled:
+                with POOL.step_scope():
+                    loss = layer(x).square().mean()
+                    gs = grad(loss, layer.parameters())
+                    return loss.item(), [g.data.copy() for g in gs]
+            loss = layer(x).square().mean()
+            gs = grad(loss, layer.parameters())
+            return loss.item(), [g.data.copy() for g in gs]
+
+        loss_off, grads_off = losses(False)
+        loss_on, grads_on = losses(True)
+        assert loss_off == loss_on
+        for a, b in zip(grads_off, grads_on):
+            np.testing.assert_array_equal(a, b)
+
+    def test_param_grads_do_not_alias_each_other(self):
+        layer = Dense(4, 3, rng=np.random.default_rng(0))
+        x = tensor(np.ones((2, 4)))
+        with POOL.step_scope():
+            loss = layer(x).sum()
+            gw, gb = grad(loss, layer.parameters())
+            assert gw.data is not gb.data
+            # Mutating one grad must not corrupt the other.
+            gw.data.fill(-1.0)
+            np.testing.assert_array_equal(gb.data, np.full(3, 2.0))
+
+    def test_grad_outside_scope_allocates_plain_arrays(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (g,) = grad((t * t).sum(), [t])
+        np.testing.assert_array_equal(g.data, 2.0 * np.ones(3))
+        assert POOL.stats()["hits"] == 0
+
+
+class TestOptimizerParity:
+    def test_sgd_in_place_update_is_bit_identical(self):
+        def run(pooled):
+            POOL.configure(pooled)
+            rng = np.random.default_rng(3)
+            layer = Dense(6, 2, rng=np.random.default_rng(1))
+            opt = SGD(layer.parameters(), lr=0.05, momentum=0.9)
+            for _ in range(5):
+                x = tensor(rng.normal(size=(4, 6)))
+                if pooled:
+                    with POOL.step_scope():
+                        opt.step(grad(layer(x).square().mean(),
+                                      layer.parameters()))
+                else:
+                    opt.step(grad(layer(x).square().mean(),
+                                  layer.parameters()))
+            return layer.state_dict()
+
+        off, on = run(False), run(True)
+        for key in off:
+            np.testing.assert_array_equal(off[key], on[key])
+
+
+class TestModelParity:
+    """REPRO_NN_POOL on/off must be bit-identical end to end."""
+
+    def test_doppelganger_losses_params_samples(self):
+        def run(pooled):
+            POOL.configure(pooled)
+            model = DoppelGANger(small_config(), seed=1)
+            model.fit(small_flows(), epochs=2)
+            return (list(model.log.d_loss), list(model.log.g_loss),
+                    model.state_dict(), model.generate(20, seed=3))
+
+        d_off, g_off, state_off, gen_off = run(False)
+        d_on, g_on, state_on, gen_on = run(True)
+        assert d_off == d_on
+        assert g_off == g_on
+        for key in state_off:
+            np.testing.assert_array_equal(state_off[key], state_on[key])
+        np.testing.assert_array_equal(gen_off.metadata, gen_on.metadata)
+        np.testing.assert_array_equal(gen_off.measurements,
+                                      gen_on.measurements)
+        np.testing.assert_array_equal(gen_off.gen_flags, gen_on.gen_flags)
+
+    def test_doppelganger_dp_fit_parity(self):
+        from repro.privacy.dpsgd import DpSgdConfig
+
+        def run(pooled):
+            POOL.configure(pooled)
+            model = DoppelGANger(small_config(batch_size=8), seed=1)
+            model.fit_dp(small_flows(n=16), epochs=1,
+                         dp_config=DpSgdConfig(clip_norm=1.0,
+                                               noise_multiplier=0.5),
+                         seed=5)
+            return model.state_dict()
+
+        off, on = run(False), run(True)
+        for key in off:
+            np.testing.assert_array_equal(off[key], on[key])
+
+    def test_ewgangp_samples_parity(self):
+        trace = load_dataset("ugr16", n_records=120, seed=0)
+
+        def run(pooled):
+            POOL.configure(pooled)
+            model = EWganGp(epochs=2, seed=0).fit(trace)
+            return model.generate(60, seed=1)
+
+        off, on = run(False), run(True)
+        np.testing.assert_array_equal(off.src_ip, on.src_ip)
+        np.testing.assert_array_equal(off.dst_port, on.dst_port)
+        np.testing.assert_array_equal(off.bytes, on.bytes)
+
+    def test_stan_samples_parity(self):
+        trace = load_dataset("ugr16", n_records=120, seed=0)
+
+        def run(pooled):
+            POOL.configure(pooled)
+            model = Stan(epochs=5, seed=0).fit(trace)
+            return model.generate(80, seed=1)
+
+        off, on = run(False), run(True)
+        np.testing.assert_array_equal(off.src_ip, on.src_ip)
+        np.testing.assert_array_equal(off.bytes, on.bytes)
+        np.testing.assert_array_equal(off.start_time, on.start_time)

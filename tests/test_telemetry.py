@@ -518,3 +518,108 @@ class TestNetShareJournal:
         assert meta["label"].startswith("synthesize")
         assert any(e["event"] == "fit_end" for e in events)
         assert not telemetry.enabled()      # session closed after the run
+
+
+# ----------------------------------------------------------------------
+# Span / event sampling (REPRO_TELEMETRY_SAMPLE)
+
+
+class TestSampling:
+    def test_sampled_span_keeps_every_nth(self):
+        telemetry.configure(sample=3)
+        with span("dg.fit") as root:
+            for epoch in range(7):
+                with span("dg.epoch", epoch=epoch):
+                    pass
+        kept = [c.attrs["epoch"] for c in root.children]
+        assert kept == [0, 3, 6]
+
+    def test_unsampled_spans_are_always_kept(self):
+        telemetry.configure(sample=10)
+        with span("dg.fit") as root:
+            for _ in range(4):
+                with span("not.an.epoch"):
+                    pass
+        assert len(root.children) == 4
+
+    def test_sample_counters_are_per_name(self):
+        telemetry.configure(sample=2)
+        with span("dg.fit") as root:
+            with span("dg.epoch", epoch=0):
+                pass
+            with span("rowgan.epoch", epoch=0):  # own counter: kept
+                pass
+            with span("dg.epoch", epoch=1):      # dropped
+                pass
+        assert len(root.children) == 2
+
+    def test_epoch_events_sampled_per_model(self, tmp_path):
+        with telemetry.session(journal_dir=tmp_path, sample=2) as journal:
+            for epoch in range(5):
+                telemetry.emit_event("epoch", model="a", epoch=epoch)
+            telemetry.emit_event("epoch", model="b", epoch=0)
+            telemetry.emit_event("fit_end", model="a")
+            run_dir = journal.directory
+        _, events = load_journal(run_dir)
+        a_epochs = [e["epoch"] for e in events
+                    if e["event"] == "epoch" and e["model"] == "a"]
+        assert a_epochs == [0, 2, 4]
+        assert sum(1 for e in events
+                   if e["event"] == "epoch" and e["model"] == "b") == 1
+        assert any(e["event"] == "fit_end" for e in events)
+
+    def test_sample_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY_SAMPLE", "4")
+        telemetry.configure()
+        assert STATE.sample_n == 4
+        telemetry.shutdown()
+        assert STATE.sample_n == 1
+
+    def test_sample_one_keeps_everything(self, tmp_path):
+        with telemetry.session(journal_dir=tmp_path) as journal:
+            for epoch in range(3):
+                telemetry.emit_event("epoch", model="a", epoch=epoch)
+            run_dir = journal.directory
+        _, events = load_journal(run_dir)
+        assert sum(1 for e in events if e["event"] == "epoch") == 3
+
+
+# ----------------------------------------------------------------------
+# Baseline fit loops land in the journal (CTGAN / STAN)
+
+
+class TestBaselineJournal:
+    def test_ctgan_fit_is_journaled(self, tmp_path):
+        from repro.baselines import CTGAN
+
+        trace = load_dataset("ugr16", n_records=80, seed=0)
+        with telemetry.session(journal_dir=tmp_path) as journal:
+            CTGAN(epochs=2, seed=0).fit(trace)
+            run_dir = journal.directory
+        _, events = load_journal(run_dir)
+        kinds = {e["event"] for e in events}
+        assert {"fit_start", "epoch", "fit_end"} <= kinds
+        start = next(e for e in events if e["event"] == "fit_start")
+        assert start["model"] == "ctgan"
+        epochs = [e for e in events if e["event"] == "epoch"]
+        assert [e["epoch"] for e in epochs] == [0, 1]
+        assert all(e["model"] == "ctgan" for e in epochs)
+        spans_seen = [e["span"]["name"] for e in events
+                      if e["event"] == "span"]
+        assert "ctgan.fit" in spans_seen
+
+    def test_stan_fit_is_journaled(self, tmp_path):
+        from repro.baselines import Stan
+
+        trace = load_dataset("ugr16", n_records=80, seed=0)
+        with telemetry.session(journal_dir=tmp_path) as journal:
+            Stan(epochs=3, seed=0).fit(trace)
+            run_dir = journal.directory
+        _, events = load_journal(run_dir)
+        start = next(e for e in events if e["event"] == "fit_start")
+        assert start["model"] == "stan" and len(start["fields"]) == 5
+        epochs = [e for e in events if e["event"] == "epoch"]
+        assert {e["field"] for e in epochs} == {
+            "dst_port", "duration", "packets", "bytes", "gap"}
+        assert any(e["event"] == "fit_end" and e["model"] == "stan"
+                   for e in events)
