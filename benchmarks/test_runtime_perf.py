@@ -40,6 +40,7 @@ from repro.core.flow_encoder import EncodedFlows
 from repro.datasets import load_dataset
 from repro.gan.doppelganger import DgConfig, DoppelGANger
 from repro.nn.pool import POOL
+from repro.nn import tape as nn_tape
 from repro.runtime import BACKENDS, MEASURE_DISPATCH_ENV_VAR
 from repro.telemetry import load_journal
 from repro.telemetry.spans import span
@@ -118,32 +119,40 @@ def _alloc_section() -> dict:
         model.fit(flows, epochs=ALLOC_EPOCHS)
         return model, time.perf_counter() - start
 
-    model_off, wall_off = fit_model(False)
-    model_on, wall_on = fit_model(True)
-    fit_stats = POOL.stats()
+    # Taped replay bypasses the pool entirely (recorded steps run on
+    # the tape arena), which would zero the hit-rate this section
+    # exists to measure — force the eager pooled path for the probe.
+    nn_tape.configure(False)
+    try:
+        model_off, wall_off = fit_model(False)
+        model_on, wall_on = fit_model(True)
+        fit_stats = POOL.stats()
 
-    parity = (list(model_off.log.d_loss) == list(model_on.log.d_loss)
-              and list(model_off.log.g_loss) == list(model_on.log.g_loss))
-    state_off, state_on = model_off.state_dict(), model_on.state_dict()
-    parity = parity and all(np.array_equal(state_off[k], state_on[k])
-                            for k in state_off)
+        parity = (list(model_off.log.d_loss) == list(model_on.log.d_loss)
+                  and list(model_off.log.g_loss) == list(model_on.log.g_loss))
+        state_off, state_on = model_off.state_dict(), model_on.state_dict()
+        parity = parity and all(np.array_equal(state_off[k], state_on[k])
+                                for k in state_off)
 
-    # Steady-state probe: after warmup every step's buffers come from
-    # the free lists, so requests/step == temp arrays the unpooled
-    # path would allocate and misses/step == what the pool allocates.
-    for _ in range(3):
-        model_on._disc_step(flows, config.batch_size)
-    before = POOL.stats()
-    for _ in range(ALLOC_PROBE_STEPS):
-        model_on._disc_step(flows, config.batch_size)
-    after = POOL.stats()
-    requests = (after["hits"] + after["misses"]
-                - before["hits"] - before["misses"])
-    misses = after["misses"] - before["misses"]
-    temps_unpooled = requests / ALLOC_PROBE_STEPS
-    temps_pooled = misses / ALLOC_PROBE_STEPS
-    POOL.configure(True)
-    POOL.reset()
+        # Steady-state probe: after warmup every step's buffers come
+        # from the free lists, so requests/step == temp arrays the
+        # unpooled path would allocate and misses/step == what the
+        # pool allocates.
+        for _ in range(3):
+            model_on._disc_step(flows, config.batch_size)
+        before = POOL.stats()
+        for _ in range(ALLOC_PROBE_STEPS):
+            model_on._disc_step(flows, config.batch_size)
+        after = POOL.stats()
+        requests = (after["hits"] + after["misses"]
+                    - before["hits"] - before["misses"])
+        misses = after["misses"] - before["misses"]
+        temps_unpooled = requests / ALLOC_PROBE_STEPS
+        temps_pooled = misses / ALLOC_PROBE_STEPS
+    finally:
+        nn_tape.configure(None)
+        POOL.configure(True)
+        POOL.reset()
 
     return {
         "epochs": ALLOC_EPOCHS,
@@ -155,6 +164,96 @@ def _alloc_section() -> dict:
         "disc_step_temp_arrays_unpooled": round(temps_unpooled, 1),
         "disc_step_temp_arrays_pooled": round(temps_pooled, 1),
         "alloc_reduction": round(temps_unpooled / max(temps_pooled, 1.0), 1),
+    }
+
+
+TAPE_PROBE_STEPS = 30
+
+
+def _tape_section() -> dict:
+    """Measure the repro.nn.tape plan/execute split.
+
+    Fits the same DoppelGANger twice (``REPRO_NN_TAPE`` off, then on):
+    parity is the bitwise oracle.  The warm-step probe times the
+    discriminator step after tapes are recorded — replay runs the
+    prebuilt closure list with no Tensor dispatch, no graph build, and
+    no backward walk — against the identical step on the eager path.
+    """
+    rng = np.random.default_rng(0)
+    flows = EncodedFlows(rng.uniform(size=(96, 6)),
+                         rng.uniform(size=(96, 4, 3)),
+                         np.ones((96, 4)))
+    config = DgConfig(metadata_dim=6, measurement_dim=3, max_timesteps=4,
+                      batch_size=32, meta_hidden=32, rnn_hidden=32,
+                      disc_hidden=32)
+
+    def fit_model(taped):
+        nn_tape.configure(taped)
+        POOL.configure(True)
+        POOL.reset()
+        model = DoppelGANger(config, seed=1)
+        start = time.perf_counter()
+        model.fit(flows, epochs=ALLOC_EPOCHS)
+        return model, time.perf_counter() - start
+
+    try:
+        model_eager, wall_eager = fit_model(False)
+        nn_tape.reset_tape_stats()
+        model_taped, wall_taped = fit_model(True)
+        stats = nn_tape.tape_stats()
+
+        parity = (list(model_eager.log.d_loss) == list(model_taped.log.d_loss)
+                  and list(model_eager.log.g_loss)
+                  == list(model_taped.log.g_loss))
+        state_e = model_eager.state_dict()
+        state_t = model_taped.state_dict()
+        parity = parity and all(np.array_equal(state_e[k], state_t[k])
+                                for k in state_e)
+
+        # Warm-step probe: the fit above already recorded this shape
+        # signature, so every probed step is a pure replay.
+        for _ in range(3):
+            model_taped._disc_step(flows, config.batch_size)
+        start = time.perf_counter()
+        for _ in range(TAPE_PROBE_STEPS):
+            model_taped._disc_step(flows, config.batch_size)
+        taped_ms = (time.perf_counter() - start) / TAPE_PROBE_STEPS * 1e3
+
+        nn_tape.configure(False)
+        for _ in range(3):
+            model_taped._disc_step(flows, config.batch_size)
+        start = time.perf_counter()
+        for _ in range(TAPE_PROBE_STEPS):
+            model_taped._disc_step(flows, config.batch_size)
+        eager_ms = (time.perf_counter() - start) / TAPE_PROBE_STEPS * 1e3
+    finally:
+        nn_tape.configure(None)
+        POOL.configure(True)
+        POOL.reset()
+
+    requests = stats["hits"] + stats["misses"]
+    return {
+        "epochs": ALLOC_EPOCHS,
+        "bit_identical_with_tape": parity,
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "hit_rate": round(stats["hits"] / max(requests, 1), 4),
+        "fused_ops": stats["fused_ops"],
+        "peak_bytes_recorded": stats["bytes_recorded"],
+        "peak_bytes_planned": stats["bytes_planned"],
+        "peak_bytes_reduction": round(
+            stats["bytes_recorded"] / max(stats["bytes_planned"], 1), 2),
+        "fit_wall_seconds_eager": round(wall_eager, 3),
+        "fit_wall_seconds_taped": round(wall_taped, 3),
+        "warm_step_ms_eager": round(eager_ms, 3),
+        "warm_step_ms_taped": round(taped_ms, 3),
+        # Replay speedup is single-process dispatch elimination, so it
+        # holds on any CPU count; cpus is recorded for interpretability
+        # (the {value, cpus} convention the parallel gates use).
+        "warm_step_speedup": {
+            "value": round(eager_ms / max(taped_ms, 1e-9), 2),
+            "cpus": os.cpu_count() or 1,
+        },
     }
 
 
@@ -248,6 +347,7 @@ def bench():
             "generate_bit_identical": gen_identical,
         }
         report["alloc"] = _alloc_section()
+        report["tape"] = _tape_section()
         # -- telemetry: overhead, parity, journal coverage -------------
         # Re-run the multiprocessing fit+generate with a live journal
         # and compare wall clock against the telemetry-off runs above.
@@ -300,6 +400,7 @@ def bench():
         print(json.dumps(report["summary"], indent=2))
         print(json.dumps(report["telemetry"], indent=2))
         print(json.dumps(report["alloc"], indent=2))
+        print(json.dumps(report["tape"], indent=2))
         return {"report": report, "models": models, "traces": traces}
     finally:
         if previous is None:
@@ -349,7 +450,7 @@ class TestRuntimePerf:
     def test_report_written(self, bench):
         data = json.loads(OUTPUT_PATH.read_text())
         assert set(data) >= {"config", "cpus", "fit", "generate", "summary",
-                             "telemetry", "alloc"}
+                             "telemetry", "alloc", "tape"}
         assert set(data["fit"]) == set(BACKENDS)
         for entry in data["fit"].values():
             assert entry["dispatch_bytes"] > 0
@@ -394,3 +495,28 @@ class TestRuntimePerf:
         alloc = bench["report"]["alloc"]
         assert alloc["disc_step_temp_arrays_unpooled"] >= 100
         assert alloc["alloc_reduction"] >= 5.0
+
+    def test_tape_is_bit_identical(self, bench):
+        """Acceptance: REPRO_NN_TAPE on/off must not change a single
+        loss or weight."""
+        assert bench["report"]["tape"]["bit_identical_with_tape"]
+
+    def test_tape_warm_step_speedup(self, bench):
+        """Acceptance: a replayed warm step must beat the eager step
+        by >= 1.3x (dispatch elimination, so no CPU-count skip)."""
+        speedup = bench["report"]["tape"]["warm_step_speedup"]
+        assert speedup["cpus"] == (os.cpu_count() or 1)
+        assert speedup["value"] >= 1.3
+
+    def test_tape_hit_rate_and_fusion(self, bench):
+        """Warm steps must overwhelmingly replay (one record per shape
+        signature), and the peephole pass must actually fuse."""
+        tape = bench["report"]["tape"]
+        assert tape["hit_rate"] >= 0.5
+        assert tape["fused_ops"] > 0
+
+    def test_tape_liveness_shrinks_peak_bytes(self, bench):
+        """The liveness pass must release dead intermediates: planned
+        peak bytes strictly below recorded bytes."""
+        tape = bench["report"]["tape"]
+        assert 0 < tape["peak_bytes_planned"] < tape["peak_bytes_recorded"]

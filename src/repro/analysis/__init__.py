@@ -35,6 +35,7 @@ from .graph_check import (
     OpSpec,
     check_double_backprop,
     check_op,
+    get_op_spec,
     register_op,
     registered_op_names,
     unregister_op,
@@ -57,6 +58,7 @@ __all__ = [
     "DEFAULT_BASELINE", "load_baseline", "save_baseline",
     "apply_baseline", "baseline_counts",
     "OpSpec", "OpReport", "register_op", "unregister_op",
-    "registered_op_names", "check_op", "check_double_backprop",
+    "registered_op_names", "get_op_spec", "check_op",
+    "check_double_backprop",
     "main",
 ]

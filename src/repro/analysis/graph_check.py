@@ -30,7 +30,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 __all__ = ["OpSpec", "OpReport", "register_op", "unregister_op",
-           "registered_op_names", "check_op", "check_double_backprop"]
+           "registered_op_names", "get_op_spec", "check_op",
+           "check_double_backprop"]
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,13 @@ def unregister_op(name: str) -> None:
 def registered_op_names() -> List[str]:
     _build_default_specs()
     return sorted(_REGISTRY)
+
+
+def get_op_spec(name: str) -> OpSpec:
+    """Look up one registered spec (the tape parity tests replay the
+    same op programs the double-backprop checker exercises)."""
+    _build_default_specs()
+    return _REGISTRY[name]
 
 
 # ----------------------------------------------------------------------

@@ -101,6 +101,7 @@ def _load_default_rules() -> None:
         numerics,
         pool_scope,
         shm_hygiene,
+        tape_purity,
         task_fields,
     )
 

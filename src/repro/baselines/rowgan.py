@@ -31,7 +31,7 @@ from ..nn import (
     tensor,
 )
 from ..nn.functional import gumbel_softmax
-from ..nn.pool import POOL as _POOL
+from ..nn.tape import compiled_step, k_gather, ka as _ka, taped_draw
 from ..telemetry import emit_event
 from ..telemetry.spans import span
 from ..telemetry.state import STATE as _TELEMETRY
@@ -130,6 +130,10 @@ class RowGan:
         self._g_opt = Adam(self._g_params, lr=self.config.lr, beta1=0.5)
         self._d_opt = Adam(self._d_params, lr=self.config.lr, beta1=0.5)
         self.train_seconds = 0.0
+        # Warm steps replay recorded tapes (see repro.nn.tape);
+        # REPRO_NN_TAPE=0 keeps the eager bodies authoritative.
+        self._c_critic = compiled_step(self._critic_core, "rowgan.critic")
+        self._c_gen = compiled_step(self._gen_core, "rowgan.gen")
 
     # ------------------------------------------------------------------
     def _named_modules(self):
@@ -155,7 +159,8 @@ class RowGan:
 
     # ------------------------------------------------------------------
     def _fake_rows(self, n: int, condition: Optional[np.ndarray] = None):
-        z = tensor(self._rng.normal(size=(n, self.config.noise_dim)))
+        z = tensor(taped_draw(lambda: self._rng.normal(
+            size=(n, self.config.noise_dim))))
         cond = tensor(condition) if condition is not None else None
         rows = self.generator(z, self._rng, cond)
         if cond is not None:
@@ -168,9 +173,12 @@ class RowGan:
         return concatenate([rows, cond], axis=-1)
 
     def _gradient_penalty(self, real: Tensor, fake: Tensor) -> Tensor:
-        eps = self._rng.uniform(size=(real.shape[0], 1))
-        x_hat = tensor(eps * real.data + (1 - eps) * fake.data,
-                       requires_grad=True)
+        batch = real.shape[0]
+        eps = taped_draw(lambda: self._rng.uniform(size=(batch, 1)))
+        x_hat = tensor(
+            _ka(np.add, _ka(np.multiply, eps, real.data),
+                _ka(np.multiply, _ka(np.subtract, 1.0, eps), fake.data)),
+            requires_grad=True)
         d = self.discriminator(x_hat)
         (gx,) = grad(d.sum(), [x_hat], create_graph=True)
         norms = (gx.square().sum(axis=1) + 1e-12).sqrt()
@@ -184,38 +192,48 @@ class RowGan:
 
     def _critic_step(self, rows: np.ndarray, n: int,
                      conditions: Optional[np.ndarray]) -> float:
-        # Each step runs inside a pool scope: forward/backward/Adam
-        # temporaries recycle across steps (the loss leaves as a float).
-        with _POOL.step_scope():
-            idx = self._rng.integers(0, n, size=min(
-                self.config.batch_size, n))
-            cond_batch = (conditions[idx] if conditions is not None
-                          else None)
-            with no_grad():
-                fake_rows, fake_cond = self._fake_rows(len(idx), cond_batch)
-            real_in = self._disc_input(
-                tensor(rows[idx]),
-                tensor(cond_batch) if cond_batch is not None else None)
-            fake_in = self._disc_input(fake_rows.detach(), fake_cond)
-            loss = (self.discriminator(fake_in).mean()
-                    - self.discriminator(real_in).mean()
-                    + self.config.gp_weight
-                    * self._gradient_penalty(real_in, fake_in))
-            self._d_opt.step(grad(loss, self._d_params))
-            return loss.item()
+        # Each step runs as a compiled region: the wrapper opens the
+        # pool scope, records the eager body once per shape signature,
+        # and replays the tape on warm steps (the loss leaves as a
+        # float either way).
+        b = min(self.config.batch_size, n)
+        key = (id(rows), id(conditions), b)
+        return self._c_critic.run(key, rows, n, b, conditions)
+
+    def _critic_core(self, rows: np.ndarray, n: int, b: int,
+                     conditions: Optional[np.ndarray]) -> Tensor:
+        idx = taped_draw(lambda: self._rng.integers(0, n, size=b))
+        cond_batch = (k_gather(conditions, idx) if conditions is not None
+                      else None)
+        with no_grad():
+            fake_rows, fake_cond = self._fake_rows(b, cond_batch)
+        real_in = self._disc_input(
+            tensor(k_gather(rows, idx)),
+            tensor(cond_batch) if cond_batch is not None else None)
+        fake_in = self._disc_input(fake_rows.detach(), fake_cond)
+        loss = (self.discriminator(fake_in).mean()
+                - self.discriminator(real_in).mean()
+                + self.config.gp_weight
+                * self._gradient_penalty(real_in, fake_in))
+        self._d_opt.step(grad(loss, self._d_params))
+        return loss
 
     def _generator_step(self, n: int,
                         conditions: Optional[np.ndarray]) -> float:
-        with _POOL.step_scope():
-            idx = self._rng.integers(0, n, size=min(
-                self.config.batch_size, n))
-            cond_batch = (conditions[idx] if conditions is not None
-                          else None)
-            fake_rows, fake_cond = self._fake_rows(len(idx), cond_batch)
-            g_loss = -self.discriminator(
-                self._disc_input(fake_rows, fake_cond)).mean()
-            self._g_opt.step(grad(g_loss, self._g_params))
-            return g_loss.item()
+        b = min(self.config.batch_size, n)
+        key = (id(conditions), b)
+        return self._c_gen.run(key, n, b, conditions)
+
+    def _gen_core(self, n: int, b: int,
+                  conditions: Optional[np.ndarray]) -> Tensor:
+        idx = taped_draw(lambda: self._rng.integers(0, n, size=b))
+        cond_batch = (k_gather(conditions, idx) if conditions is not None
+                      else None)
+        fake_rows, fake_cond = self._fake_rows(b, cond_batch)
+        g_loss = -self.discriminator(
+            self._disc_input(fake_rows, fake_cond)).mean()
+        self._g_opt.step(grad(g_loss, self._g_params))
+        return g_loss
 
     def fit(self, rows: np.ndarray, epochs: int = 30,
             conditions: Optional[np.ndarray] = None,

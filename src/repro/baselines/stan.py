@@ -27,7 +27,7 @@ import numpy as np
 
 from ..datasets.records import FlowTrace
 from ..nn import Adam, Dense, Sequential, cross_entropy, grad, no_grad, tensor
-from ..nn.pool import POOL as _POOL
+from ..nn.tape import compiled_step, k_gather, taped_draw
 from ..telemetry import emit_event
 from ..telemetry.spans import span as _span
 from ..telemetry.state import STATE as _TELEMETRY
@@ -173,18 +173,27 @@ class Stan(Synthesizer):
                     Dense(self.hidden, q.n_bins, "linear", rng=rng),
                 )
                 opt = Adam(net.parameters(), lr=0.01, beta1=0.9)
+                # int64 targets up front so cross_entropy's asarray is
+                # a no-op and the taped gather refreshes the same
+                # buffer the loss kernels read.
+                y = np.ascontiguousarray(targets[name], dtype=np.int64)
+                b = min(128, len(x))
+
+                def field_core(net=net, opt=opt, y=y, b=b):
+                    batch = taped_draw(
+                        lambda: rng.integers(0, len(x), size=b))
+                    loss = cross_entropy(net(tensor(k_gather(x, batch))),
+                                         k_gather(y, batch))
+                    opt.step(grad(loss, net.parameters()))
+                    return loss
+
+                step = compiled_step(field_core, f"stan.{name}")
                 loss_val = 0.0
                 with _span("stan.field", field=name):
                     for epoch in range(self.epochs):
-                        # One pool scope per batch step; the loss value
-                        # must be extracted before the scope closes.
-                        with _POOL.step_scope():
-                            batch = rng.integers(0, len(x),
-                                                 size=min(128, len(x)))
-                            loss = cross_entropy(net(tensor(x[batch])),
-                                                 targets[name][batch])
-                            opt.step(grad(loss, net.parameters()))
-                            loss_val = loss.item()
+                        # The compiled wrapper scopes the pool and
+                        # extracts the loss float per step.
+                        loss_val = step.run((b,))
                 if _TELEMETRY.enabled:
                     emit_event("epoch", model="stan", field=name,
                                epoch=self.epochs - 1, loss=loss_val)

@@ -47,7 +47,7 @@ from ..nn import (
     stack,
     tensor,
 )
-from ..nn.pool import POOL as _POOL
+from ..nn.tape import compiled_step, k_gather, ka as _ka, taped_draw
 from ..privacy.dpsgd import DpSgdConfig, privatize_gradients
 
 __all__ = ["DgConfig", "DoppelGANger", "TrainingLog"]
@@ -261,6 +261,14 @@ class DoppelGANger:
         self._g_opt = Adam(self._g_params, lr=config.lr, beta1=0.5)
         self._d_opt = Adam(self._d_params, lr=config.lr, beta1=0.5)
 
+        # Plan/execute split: each step body records an execution tape
+        # on first run per shape signature and replays it afterwards
+        # (see repro.nn.tape).  REPRO_NN_TAPE=0 keeps every step on the
+        # eager bodies below.
+        self._c_disc = compiled_step(self._disc_core, "dg.disc")
+        self._c_gen = compiled_step(self._gen_core, "dg.gen")
+        self._c_dp_disc = compiled_step(self._dp_disc_core, "dg.dp_disc")
+
     # ------------------------------------------------------------------
     def num_parameters(self) -> int:
         return sum(p.size for p in self._g_params + self._d_params)
@@ -309,27 +317,31 @@ class DoppelGANger:
 
     # ------------------------------------------------------------------
     def _sample_fake(self, batch: int):
-        z_meta = self._rng.normal(size=(batch, self.config.noise_dim))
-        z_meas = self._rng.normal(
-            size=(batch, self.config.max_timesteps, self.config.noise_dim)
-        )
+        z_meta = taped_draw(lambda: self._rng.normal(
+            size=(batch, self.config.noise_dim)))
+        z_meas = taped_draw(lambda: self._rng.normal(
+            size=(batch, self.config.max_timesteps, self.config.noise_dim)))
         metadata = self.gen_meta(tensor(z_meta), self._rng)
         measurements, flags = self.gen_meas(metadata, z_meas)
         return metadata, measurements, flags
 
     def _real_batch(self, data: EncodedFlows, indices: np.ndarray):
         return (
-            tensor(data.metadata[indices]),
-            tensor(data.measurements[indices]),
-            tensor(data.gen_flags[indices]),
+            tensor(k_gather(data.metadata, indices)),
+            tensor(k_gather(data.measurements, indices)),
+            tensor(k_gather(data.gen_flags, indices)),
         )
 
     def _gradient_penalty(self, critic: Module, real_flat: Tensor,
                           fake_flat: Tensor) -> Tensor:
         batch = real_flat.shape[0]
-        eps = self._rng.uniform(size=(batch, 1))
+        eps = taped_draw(lambda: self._rng.uniform(size=(batch, 1)))
+        # eps*real + (1-eps)*fake as explicit kernels (same order the
+        # expression evaluates in, so bitwise unchanged).
         x_hat = tensor(
-            eps * real_flat.data + (1.0 - eps) * fake_flat.data,
+            _ka(np.add, _ka(np.multiply, eps, real_flat.data),
+                _ka(np.multiply, _ka(np.subtract, 1.0, eps),
+                    fake_flat.data)),
             requires_grad=True,
         )
         d_hat = critic(x_hat)
@@ -345,47 +357,55 @@ class DoppelGANger:
 
     # ------------------------------------------------------------------
     def _disc_step(self, data: EncodedFlows, batch_size: int) -> float:
-        # One step_scope per step: every temporary the forward/backward
-        # pass and the Adam update allocate inside is recycled on exit
-        # and reused next step (batch shapes are static).  Nothing
-        # pooled escapes: the loss leaves as a float.
-        with _POOL.step_scope():
-            n = len(data)
-            idx = self._rng.integers(0, n, size=min(batch_size, n))
-            real = self._real_batch(data, idx)
-            with no_grad():
-                fake = self._sample_fake(len(idx))
-            fake = tuple(t.detach() for t in fake)
+        # One compiled step per signature: the wrapper opens the
+        # step_scope, records the eager body once, and replays the tape
+        # on warm steps.  Nothing pooled escapes: the loss leaves as a
+        # float.  The key pins the data arrays by identity — chunked
+        # fine-tuning swaps them, recording a fresh tape.
+        b = min(batch_size, len(data))
+        key = (id(data.metadata), id(data.measurements),
+               id(data.gen_flags), b)
+        return self._c_disc.run(key, data, b)
 
-            real_flat = _with_batch_stats(_flatten_sample(*real))
-            fake_flat = _with_batch_stats(_flatten_sample(*fake))
-            loss = (self.disc(fake_flat).mean() - self.disc(real_flat).mean()
-                    + self.config.gp_weight
-                    * self._gradient_penalty(self.disc, real_flat, fake_flat))
-            if self.disc_aux is not None:
-                real_meta = _with_batch_stats(real[0])
-                fake_meta = _with_batch_stats(fake[0])
-                loss = loss + self.config.aux_weight * (
-                    self.disc_aux(fake_meta).mean()
-                    - self.disc_aux(real_meta).mean()
-                    + self.config.gp_weight
-                    * self._gradient_penalty(self.disc_aux, real_meta,
-                                             fake_meta)
-                )
-            self._d_opt.step(grad(loss, self._d_params))
-            return loss.item()
+    def _disc_core(self, data: EncodedFlows, b: int) -> Tensor:
+        n = len(data)
+        idx = taped_draw(lambda: self._rng.integers(0, n, size=b))
+        real = self._real_batch(data, idx)
+        with no_grad():
+            fake = self._sample_fake(b)
+        fake = tuple(t.detach() for t in fake)
+
+        real_flat = _with_batch_stats(_flatten_sample(*real))
+        fake_flat = _with_batch_stats(_flatten_sample(*fake))
+        loss = (self.disc(fake_flat).mean() - self.disc(real_flat).mean()
+                + self.config.gp_weight
+                * self._gradient_penalty(self.disc, real_flat, fake_flat))
+        if self.disc_aux is not None:
+            real_meta = _with_batch_stats(real[0])
+            fake_meta = _with_batch_stats(fake[0])
+            loss = loss + self.config.aux_weight * (
+                self.disc_aux(fake_meta).mean()
+                - self.disc_aux(real_meta).mean()
+                + self.config.gp_weight
+                * self._gradient_penalty(self.disc_aux, real_meta,
+                                         fake_meta)
+            )
+        self._d_opt.step(grad(loss, self._d_params))
+        return loss
 
     def _gen_step(self, batch_size: int) -> float:
-        with _POOL.step_scope():
-            metadata, measurements, flags = self._sample_fake(batch_size)
-            fake_flat = _with_batch_stats(
-                _flatten_sample(metadata, measurements, flags))
-            loss = -self.disc(fake_flat).mean()
-            if self.disc_aux is not None:
-                loss = loss - self.config.aux_weight * self.disc_aux(
-                    _with_batch_stats(metadata)).mean()
-            self._g_opt.step(grad(loss, self._g_params))
-            return loss.item()
+        return self._c_gen.run((batch_size,), batch_size)
+
+    def _gen_core(self, batch_size: int) -> Tensor:
+        metadata, measurements, flags = self._sample_fake(batch_size)
+        fake_flat = _with_batch_stats(
+            _flatten_sample(metadata, measurements, flags))
+        loss = -self.disc(fake_flat).mean()
+        if self.disc_aux is not None:
+            loss = loss - self.config.aux_weight * self.disc_aux(
+                _with_batch_stats(metadata)).mean()
+        self._g_opt.step(grad(loss, self._g_params))
+        return loss
 
     def fit(self, data: EncodedFlows, epochs: int = 20,
             verbose: bool = False) -> TrainingLog:
@@ -475,38 +495,47 @@ class DoppelGANger:
 
     def _dp_disc_step(self, data: EncodedFlows, dp_config: DpSgdConfig,
                       noise_rng: np.random.Generator) -> float:
+        b = min(self.config.batch_size, len(data))
+        key = (id(data.metadata), id(data.measurements),
+               id(data.gen_flags), id(dp_config), id(noise_rng), b)
+        losses = self._c_dp_disc.run(key, data, b, dp_config, noise_rng)
+        return float(np.mean(losses))
+
+    def _dp_disc_core(self, data: EncodedFlows, b: int,
+                      dp_config: DpSgdConfig,
+                      noise_rng: np.random.Generator) -> List[Tensor]:
         # The per-example gradient lists are pooled buffers, so the
         # whole step — including privatize_gradients, which consumes
-        # them — must sit inside one scope.
-        with _POOL.step_scope():
-            idx = self._rng.integers(0, len(data), size=min(
-                self.config.batch_size, len(data)))
-            with no_grad():
-                fake = self._sample_fake(len(idx))
-            fake = tuple(t.detach() for t in fake)
-            fake_flat_all = _flatten_sample(*fake)
+        # them — sits inside one compiled region.
+        idx = taped_draw(lambda: self._rng.integers(0, len(data), size=b))
+        with no_grad():
+            fake = self._sample_fake(b)
+        fake = tuple(t.detach() for t in fake)
+        fake_flat_all = _flatten_sample(*fake)
 
-            per_example = []
-            losses = []
-            for j, i in enumerate(idx):
-                real = self._real_batch(data, np.array([i]))
-                # Per-example DP gradients: each example forms its own
-                # "batch", so the batch-mean feature equals the sample.
-                real_flat = _with_batch_stats(_flatten_sample(*real))
-                fake_j = _with_batch_stats(fake_flat_all[j:j + 1])
-                loss = self.disc(fake_j).mean() - self.disc(real_flat).mean()
-                if self.disc_aux is not None:
-                    loss = loss + self.config.aux_weight * (
-                        self.disc_aux(
-                            _with_batch_stats(fake[0][j:j + 1])).mean()
-                        - self.disc_aux(_with_batch_stats(real[0])).mean()
-                    )
-                grads = grad(loss, self._d_params)
-                per_example.append([g.data for g in grads])
-                losses.append(loss.item())
-            noisy = privatize_gradients(per_example, dp_config, noise_rng)
-            self._d_opt.step(noisy)
-            return float(np.mean(losses))
+        per_example = []
+        losses = []
+        for j in range(b):
+            # View slices of the taped index buffer, so a replayed tape
+            # gathers whatever rows the fresh draw selects.
+            real = self._real_batch(data, idx[j:j + 1])
+            # Per-example DP gradients: each example forms its own
+            # "batch", so the batch-mean feature equals the sample.
+            real_flat = _with_batch_stats(_flatten_sample(*real))
+            fake_j = _with_batch_stats(fake_flat_all[j:j + 1])
+            loss = self.disc(fake_j).mean() - self.disc(real_flat).mean()
+            if self.disc_aux is not None:
+                loss = loss + self.config.aux_weight * (
+                    self.disc_aux(
+                        _with_batch_stats(fake[0][j:j + 1])).mean()
+                    - self.disc_aux(_with_batch_stats(real[0])).mean()
+                )
+            grads = grad(loss, self._d_params)
+            per_example.append([g.data for g in grads])
+            losses.append(loss)
+        noisy = privatize_gradients(per_example, dp_config, noise_rng)
+        self._d_opt.step(noisy)
+        return losses
 
     # ------------------------------------------------------------------
     def generate(self, n: int, seed: Optional[int] = None) -> EncodedFlows:

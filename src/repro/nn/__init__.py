@@ -41,6 +41,14 @@ from .layers import (
 )
 from .optim import SGD, Adam, Optimizer, clip_global_norm
 from .pool import BufferPool, POOL, POOL_ENV_VAR, pool_active
+from .tape import (
+    CompiledStep,
+    TAPE_ENV_VAR,
+    compiled_step,
+    invalidate_tapes,
+    tape_enabled,
+    tape_stats,
+)
 
 __all__ = [
     "Tensor", "tensor", "grad", "no_grad", "is_grad_enabled",
@@ -53,4 +61,6 @@ __all__ = [
     "LayerNorm", "Embedding",
     "Optimizer", "SGD", "Adam", "clip_global_norm",
     "BufferPool", "POOL", "POOL_ENV_VAR", "pool_active",
+    "CompiledStep", "compiled_step", "TAPE_ENV_VAR", "tape_enabled",
+    "tape_stats", "invalidate_tapes",
 ]

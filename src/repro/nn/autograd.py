@@ -32,6 +32,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from .pool import POOL as _POOL
+from .tape import RECORDER as _REC, ka as _ka
 
 __all__ = [
     "Tensor",
@@ -186,8 +187,10 @@ class Tensor:
             shape = a.shape if a.shape == b.shape else _bcast_shape(
                 a.shape, b.shape)
             out_data = np.add(a, b, out=_POOL.take(shape))
+            if _REC.active:
+                _REC.k(np.add, (a, b), out_data)
         else:
-            out_data = a + b
+            out_data = _ka(np.add, a, b)
 
         def vjp(g: "Tensor"):
             return (
@@ -206,15 +209,39 @@ class Tensor:
         data = self.data
         if _POOL.active and data.dtype == _F64:
             out_data = np.negative(data, out=_POOL.take(data.shape))
+            if _REC.active:
+                _REC.k(np.negative, (data,), out_data)
         else:
-            out_data = -data
+            out_data = _ka(np.negative, data)
         return Tensor._make(out_data, (self,), vjp)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        return self + (-_ensure_tensor(other))
+        # Direct np.subtract kernel (one op, poolable) instead of the
+        # old ``self + (-other)`` pair.  IEEE defines a - b as
+        # a + (-b) exactly, and -(sum) == sum of negations bitwise, so
+        # both the forward values and the accumulated gradients are
+        # bit-identical to the two-kernel form.
+        other = _ensure_tensor(other)
+        a, b = self.data, other.data
+        if _POOL.active and a.dtype == _F64 and b.dtype == _F64:
+            shape = a.shape if a.shape == b.shape else _bcast_shape(
+                a.shape, b.shape)
+            out_data = np.subtract(a, b, out=_POOL.take(shape))
+            if _REC.active:
+                _REC.k(np.subtract, (a, b), out_data)
+        else:
+            out_data = _ka(np.subtract, a, b)
+
+        def vjp(g: "Tensor"):
+            return (
+                _unbroadcast(g, self.shape),
+                -_unbroadcast(g, other.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), vjp)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return _ensure_tensor(other) + (-self)
+        return _ensure_tensor(other).__sub__(self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = _ensure_tensor(other)
@@ -223,8 +250,10 @@ class Tensor:
             shape = a.shape if a.shape == b.shape else _bcast_shape(
                 a.shape, b.shape)
             out_data = np.multiply(a, b, out=_POOL.take(shape))
+            if _REC.active:
+                _REC.k(np.multiply, (a, b), out_data)
         else:
-            out_data = a * b
+            out_data = _ka(np.multiply, a, b)
 
         def vjp(g: "Tensor"):
             return (
@@ -238,7 +267,15 @@ class Tensor:
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = _ensure_tensor(other)
-        out_data = self.data / other.data
+        a, b = self.data, other.data
+        if _POOL.active and a.dtype == _F64 and b.dtype == _F64:
+            shape = a.shape if a.shape == b.shape else _bcast_shape(
+                a.shape, b.shape)
+            out_data = np.divide(a, b, out=_POOL.take(shape))
+            if _REC.active:
+                _REC.k(np.divide, (a, b), out_data)
+        else:
+            out_data = _ka(np.divide, a, b)
 
         def vjp(g: "Tensor"):
             return (
@@ -254,7 +291,15 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only constant exponents are supported")
-        out_data = self.data**exponent
+        data = self.data
+        if _POOL.active and data.dtype == _F64:
+            # ndarray ** scalar dispatches to np.power, so the pooled
+            # out= form is the same kernel.
+            out_data = np.power(data, exponent, out=_POOL.take(data.shape))
+            if _REC.active:
+                _REC.k(np.power, (data, exponent), out_data)
+        else:
+            out_data = _ka(np.power, data, exponent)
 
         def vjp(g: "Tensor"):
             return (g * (self ** (exponent - 1)) * float(exponent),)
@@ -267,8 +312,10 @@ class Tensor:
         if (_POOL.active and a.ndim == 2 and b.ndim == 2
                 and a.dtype == _F64 and b.dtype == _F64):
             out_data = np.matmul(a, b, out=_POOL.take((a.shape[0], b.shape[1])))
+            if _REC.active:
+                _REC.k(np.matmul, (a, b), out_data)
         else:
-            out_data = a @ b
+            out_data = _ka(np.matmul, a, b)
 
         def vjp(g: "Tensor"):
             return (g @ other.T, self.T @ g)
@@ -279,7 +326,7 @@ class Tensor:
     # elementwise functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
+        out_data = _ka(np.exp, self.data)
 
         def vjp(g: "Tensor"):
             # Reference the *output* values via a detached constant so that
@@ -289,7 +336,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), vjp)
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
+        out_data = _ka(np.log, self.data)
 
         def vjp(g: "Tensor"):
             return (g / self,)
@@ -303,7 +350,7 @@ class Tensor:
         return self * self
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
+        out_data = _ka(np.tanh, self.data)
 
         def vjp(g: "Tensor"):
             y = self.tanh()
@@ -312,7 +359,12 @@ class Tensor:
         return Tensor._make(out_data, (self,), vjp)
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        # The recorded 5-kernel chain (clip, negate, exp, 1+, 1/) is
+        # what the peephole fusion pass collapses into one closure.
+        clipped = _ka(np.clip, self.data, -60.0, 60.0)
+        out_data = _ka(np.divide, 1.0,
+                       _ka(np.add, 1.0, _ka(np.exp, _ka(np.negative,
+                                                        clipped))))
 
         def vjp(g: "Tensor"):
             y = self.sigmoid()
@@ -321,8 +373,10 @@ class Tensor:
         return Tensor._make(out_data, (self,), vjp)
 
     def relu(self) -> "Tensor":
-        mask = (self.data > 0).astype(np.float64)
-        out_data = self.data * mask
+        # bool * 1.0 promotes to the same 1.0/0.0 float64 mask as
+        # .astype, and both forms are recordable ufunc kernels.
+        mask = _ka(np.multiply, _ka(np.greater, self.data, 0.0), 1.0)
+        out_data = _ka(np.multiply, self.data, mask)
 
         def vjp(g: "Tensor"):
             return (g * Tensor(mask),)
@@ -330,8 +384,9 @@ class Tensor:
         return Tensor._make(out_data, (self,), vjp)
 
     def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
-        factor = np.where(self.data > 0, 1.0, negative_slope)
-        out_data = self.data * factor
+        factor = _ka(np.where, _ka(np.greater, self.data, 0.0),
+                     1.0, negative_slope)
+        out_data = _ka(np.multiply, self.data, factor)
 
         def vjp(g: "Tensor"):
             return (g * Tensor(factor),)
@@ -339,8 +394,8 @@ class Tensor:
         return Tensor._make(out_data, (self,), vjp)
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
-        out_data = np.abs(self.data)
+        sign = _ka(np.sign, self.data)
+        out_data = _ka(np.abs, self.data)
 
         def vjp(g: "Tensor"):
             return (g * Tensor(sign),)
@@ -351,7 +406,15 @@ class Tensor:
     # reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        data = self.data
+        if _POOL.active and data.dtype == _F64:
+            out = _POOL.take(_sum_out_shape(data.shape, axis, keepdims))
+            out_data = np.sum(data, axis=axis, keepdims=keepdims, out=out)
+            if _REC.active:
+                _REC.k(np.sum, (data,), out_data,
+                       {"axis": axis, "keepdims": keepdims})
+        else:
+            out_data = _ka(np.sum, data, axis=axis, keepdims=keepdims)
         shape = self.shape
 
         def vjp(g: "Tensor"):
@@ -365,10 +428,11 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.max(axis=axis, keepdims=keepdims)
-        expanded = self.data.max(axis=axis, keepdims=True)
-        mask = (self.data == expanded).astype(np.float64)
-        mask = mask / mask.sum(axis=axis, keepdims=True)
+        out_data = _ka(np.max, self.data, axis=axis, keepdims=keepdims)
+        expanded = _ka(np.max, self.data, axis=axis, keepdims=True)
+        mask = _ka(np.multiply, _ka(np.equal, self.data, expanded), 1.0)
+        mask = _ka(np.divide, mask,
+                   _ka(np.sum, mask, axis=axis, keepdims=True))
         shape = self.shape
 
         def vjp(g: "Tensor"):
@@ -385,6 +449,10 @@ class Tensor:
             shape = tuple(shape[0])
         original = self.shape
         out_data = self.data.reshape(shape)
+        if _REC.active and out_data.base is None:
+            # A reshape of non-contiguous data copies instead of
+            # viewing; record the copy so replay refreshes it.
+            _REC.a(np.reshape, (self.data, shape), out_data)
 
         def vjp(g: "Tensor"):
             return (g.reshape(original),)
@@ -396,8 +464,13 @@ class Tensor:
         if _POOL.active and self.data.dtype == _F64:
             out_data = _POOL.take(tuple(shape))
             np.copyto(out_data, self.data)
+            if _REC.active:
+                _REC.copy(out_data, self.data)
         else:
             out_data = np.broadcast_to(self.data, shape).copy()
+            if _REC.active:
+                _REC._own(out_data)
+                _REC.copy(out_data, self.data)
 
         def vjp(g: "Tensor"):
             return (_unbroadcast(g, original),)
@@ -424,6 +497,11 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
+        if (_REC.active and isinstance(out_data, np.ndarray)
+                and out_data.base is None):
+            # Fancy indexing copies; replay re-gathers with the live
+            # key contents (taped batch indices select fresh rows).
+            _REC.gather(self.data, index, out_data)
         shape = self.shape
 
         def vjp(g: "Tensor"):
@@ -432,6 +510,8 @@ class Tensor:
                 return (_ScatterHelper(shape, index)(g),)
             scatter = _POOL.zeros(shape)
             np.add.at(scatter, index, g.data)
+            if _REC.active:
+                _REC.inplace(np.add.at, (scatter, index, g.data))
             return (Tensor(scatter),)
 
         return Tensor._make(out_data, (self,), vjp)
@@ -441,8 +521,11 @@ class Tensor:
     # ------------------------------------------------------------------
     def clip_values(self, low: float, high: float) -> "Tensor":
         """Differentiable clip (gradient passes only inside the window)."""
-        mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
-        out_data = np.clip(self.data, low, high)
+        inside = _ka(np.logical_and,
+                     _ka(np.greater_equal, self.data, low),
+                     _ka(np.less_equal, self.data, high))
+        mask = _ka(np.multiply, inside, 1.0)
+        out_data = _ka(np.clip, self.data, low, high)
 
         def vjp(g: "Tensor"):
             return (g * Tensor(mask),)
@@ -460,6 +543,8 @@ class _ScatterHelper:
     def __call__(self, g: Tensor) -> Tensor:
         scatter = _POOL.zeros(self.shape)
         np.add.at(scatter, self.index, g.data)
+        if _REC.active:
+            _REC.inplace(np.add.at, (scatter, self.index, g.data))
         index = self.index
 
         def vjp(ct: Tensor):
@@ -477,6 +562,17 @@ def _ensure_tensor(value: ArrayLike) -> Tensor:
 def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
     """Create a tensor (the public constructor)."""
     return Tensor(data, requires_grad=requires_grad)
+
+
+def _sum_out_shape(shape: Tuple[int, ...], axis, keepdims: bool):
+    """Result shape of ``np.sum(a, axis=axis, keepdims=keepdims)``."""
+    if axis is None:
+        return (1,) * len(shape) if keepdims else ()
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    axes = tuple(a % len(shape) for a in axes)
+    if keepdims:
+        return tuple(1 if i in axes else n for i, n in enumerate(shape))
+    return tuple(n for i, n in enumerate(shape) if i not in axes)
 
 
 def _axis_count(shape: Tuple[int, ...], axis) -> int:
@@ -515,8 +611,10 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         shape[axis] = sum(a.shape[axis] for a in arrays)
         out_data = np.concatenate(arrays, axis=axis,
                                   out=_POOL.take(tuple(shape)))
+        if _REC.active:
+            _REC.k(np.concatenate, (arrays,), out_data, {"axis": axis})
     else:
-        out_data = np.concatenate(arrays, axis=axis)
+        out_data = _ka(np.concatenate, arrays, axis=axis)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -533,7 +631,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     tensors = [_ensure_tensor(t) for t in tensors]
-    out_data = np.stack([t.data for t in tensors], axis=axis)
+    out_data = _ka(np.stack, [t.data for t in tensors], axis=axis)
 
     def vjp(g: Tensor):
         grads = []
@@ -549,9 +647,13 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
     """Select elementwise; the condition is a constant boolean array."""
     a, b = _ensure_tensor(a), _ensure_tensor(b)
-    cond = np.asarray(condition, dtype=bool)
-    out_data = np.where(cond, a.data, b.data)
-    mask = Tensor(cond.astype(np.float64))
+    cond = np.asarray(condition)
+    if cond.dtype != np.bool_:
+        # ``x != 0`` matches the bool cast bitwise (NaN != 0 is True,
+        # like bool(NaN)) and is a recordable ufunc kernel.
+        cond = _ka(np.not_equal, cond, 0)
+    out_data = _ka(np.where, cond, a.data, b.data)
+    mask = Tensor(_ka(np.multiply, cond, 1.0))
 
     def vjp(g: Tensor):
         return (
@@ -564,12 +666,12 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
 
 def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
     a, b = _ensure_tensor(a), _ensure_tensor(b)
-    return where(a.data >= b.data, a, b)
+    return where(_ka(np.greater_equal, a.data, b.data), a, b)
 
 
 def minimum(a: ArrayLike, b: ArrayLike) -> Tensor:
     a, b = _ensure_tensor(a), _ensure_tensor(b)
-    return where(a.data <= b.data, a, b)
+    return where(_ka(np.less_equal, a.data, b.data), a, b)
 
 
 # ----------------------------------------------------------------------

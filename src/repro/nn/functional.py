@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from .autograd import Tensor, maximum
+from .tape import ka as _ka, taped_draw as _taped_draw
 
 __all__ = [
     "softmax",
@@ -73,9 +74,13 @@ def gumbel_softmax(
         raise ValueError(
             "gumbel_softmax needs an explicit seeded np.random.Generator; "
             "an implicit RNG would break reproducibility")
-    # The uniform draw is bounded to [1e-12, 1), keeping both logs finite.
-    gumbel = -np.log(-np.log(  # repro: ignore[numerical-stability]
-        rng.uniform(1e-12, 1.0, size=logits.shape)))
+    # The uniform draw is bounded to [1e-12, 1), keeping both logs
+    # finite.  The draw is taped (replay re-draws from the live
+    # generator, mid-forward, preserving eager stream order) and the
+    # log chain runs as recorded kernels.
+    u = _taped_draw(lambda: rng.uniform(1e-12, 1.0, size=logits.shape))
+    gumbel = _ka(np.negative, _ka(  # repro: ignore[numerical-stability]
+        np.log, _ka(np.negative, _ka(np.log, u))))
     soft = softmax((logits + Tensor(gumbel)) * (1.0 / temperature), axis=-1)
     if not hard:
         return soft

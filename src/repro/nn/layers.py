@@ -17,6 +17,7 @@ import numpy as np
 from ..telemetry.state import STATE as _TELEMETRY
 from .autograd import Tensor, concatenate, no_grad
 from .pool import POOL as _POOL
+from .tape import invalidate_tapes as _invalidate_tapes
 
 __all__ = [
     "Module",
@@ -77,6 +78,9 @@ class Module:
                     f"shape mismatch for {name}: {p.data.shape} vs {state[name].shape}"
                 )
             p.data = state[name].copy()
+        # Reassigning p.data changes parameter storage identity; any
+        # recorded tape captured the old arrays by reference.
+        _invalidate_tapes()
 
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())

@@ -17,6 +17,7 @@ from ..telemetry.state import STATE as _TELEMETRY
 from .autograd import Tensor
 from .layers import Parameter
 from .pool import POOL as _POOL
+from .tape import RECORDER as _REC, invalidate_tapes as _invalidate_tapes
 
 __all__ = ["Optimizer", "SGD", "Adam", "clip_global_norm"]
 
@@ -72,13 +73,22 @@ class SGD(Optimizer):
             # Allocation-free update path: pooled scratch plus in-place
             # writes.  ``v * lr`` commutes bitwise with ``lr * v``, so
             # this is bit-identical to the allocating branch below.
+            rec = _REC.active
             for p, g, v in zip(self.params, grads, self.velocity):
-                v *= self.momentum
-                v += g
+                np.multiply(v, self.momentum, out=v)
+                np.add(v, g, out=v)
                 s = _POOL.take(v.shape)
                 np.multiply(v, self.lr, out=s)
                 np.subtract(p.data, s, out=p.data)
+                if rec:
+                    _REC.k(np.multiply, (v, self.momentum), v)
+                    _REC.k(np.add, (v, g), v)
+                    _REC.k(np.multiply, (v, self.lr), s)
+                    _REC.k(np.subtract, (p.data, s), p.data)
             return
+        # The allocating branch reassigns p.data, orphaning any tape
+        # that captured the old parameter storage.
+        _invalidate_tapes()
         for p, g, v in zip(self.params, grads, self.velocity):
             v *= self.momentum
             v += g
@@ -95,38 +105,72 @@ class Adam(Optimizer):
         self.m = [np.zeros_like(p.data) for p in self.params]
         self.v = [np.zeros_like(p.data) for p in self.params]
         self.t = 0
+        # Bias corrections live in 0-d arrays so a recorded tape can
+        # read fresh values on every replay: a "host" tape entry calls
+        # ``_advance`` (bumping ``t`` and rewriting these buffers)
+        # before the update kernels that consume them.
+        self._b1 = np.empty(())
+        self._b2 = np.empty(())
+
+    def _advance(self) -> None:
+        self.t += 1
+        self._b1[()] = 1.0 - self.beta1**self.t
+        self._b2[()] = 1.0 - self.beta2**self.t
 
     def _apply_step(self, grads: Sequence[Tensor]) -> None:
         grads = self._check(grads)
-        self.t += 1
-        bias1 = 1.0 - self.beta1**self.t
-        bias2 = 1.0 - self.beta2**self.t
         if _POOL.active:
             # Allocation-free update path.  Bit-identity with the
             # allocating branch below rests on two facts: scalar
             # broadcasts commute exactly (``g * (1-b)`` == ``(1-b) * g``,
-            # ``(m/bias1) * lr`` == ``lr * (m/bias1)``), and the
-            # elementwise evaluation order is otherwise preserved —
-            # e.g. ``(1-b2)*g*g`` groups as ``((1-b2)*g)*g`` and the
-            # denominator is ``sqrt(v/bias2) + eps`` before the divide.
+            # ``(m/bias1) * lr`` == ``lr * (m/bias1)``; a 0-d float64
+            # operand broadcasts exactly like the equal Python float),
+            # and the elementwise evaluation order is otherwise
+            # preserved — e.g. ``(1-b2)*g*g`` groups as ``((1-b2)*g)*g``
+            # and the denominator is ``sqrt(v/bias2) + eps`` before the
+            # divide.
+            self._advance()
+            rec = _REC.active
+            if rec:
+                _REC.host(self._advance)
+            bias1, bias2 = self._b1, self._b2
             for p, g, m, v in zip(self.params, grads, self.m, self.v):
                 s = _POOL.take(g.shape)
-                m *= self.beta1
+                np.multiply(m, self.beta1, out=m)
                 np.multiply(g, 1.0 - self.beta1, out=s)
-                m += s
-                v *= self.beta2
+                np.add(m, s, out=m)
+                np.multiply(v, self.beta2, out=v)
                 np.multiply(g, 1.0 - self.beta2, out=s)
-                s *= g
-                v += s
+                np.multiply(s, g, out=s)
+                np.add(v, s, out=v)
                 u = _POOL.take(g.shape)
                 np.divide(v, bias2, out=u)
                 np.sqrt(u, out=u)
-                u += self.eps
+                np.add(u, self.eps, out=u)
                 np.divide(m, bias1, out=s)
-                s *= self.lr
+                np.multiply(s, self.lr, out=s)
                 np.divide(s, u, out=s)
                 np.subtract(p.data, s, out=p.data)
+                if rec:
+                    _REC.k(np.multiply, (m, self.beta1), m)
+                    _REC.k(np.multiply, (g, 1.0 - self.beta1), s)
+                    _REC.k(np.add, (m, s), m)
+                    _REC.k(np.multiply, (v, self.beta2), v)
+                    _REC.k(np.multiply, (g, 1.0 - self.beta2), s)
+                    _REC.k(np.multiply, (s, g), s)
+                    _REC.k(np.add, (v, s), v)
+                    _REC.k(np.divide, (v, bias2), u)
+                    _REC.k(np.sqrt, (u,), u)
+                    _REC.k(np.add, (u, self.eps), u)
+                    _REC.k(np.divide, (m, bias1), s)
+                    _REC.k(np.multiply, (s, self.lr), s)
+                    _REC.k(np.divide, (s, u), s)
+                    _REC.k(np.subtract, (p.data, s), p.data)
             return
+        self.t += 1
+        bias1 = 1.0 - self.beta1**self.t
+        bias2 = 1.0 - self.beta2**self.t
+        _invalidate_tapes()  # p.data reassignment below orphans tapes
         for p, g, m, v in zip(self.params, grads, self.m, self.v):
             m *= self.beta1
             m += (1.0 - self.beta1) * g

@@ -68,6 +68,29 @@ def _env_enabled() -> bool:
     return os.environ.get(POOL_ENV_VAR, "1").strip().lower() not in _OFF_VALUES
 
 
+class _NullRecorder:
+    """Placeholder until repro.nn.tape injects the real recorder."""
+
+    active = False
+
+    def take(self, shape):  # pragma: no cover - never active
+        raise RuntimeError("no recorder installed")
+
+    def fill(self, buf, value):  # pragma: no cover - never active
+        raise RuntimeError("no recorder installed")
+
+
+_REC = _NullRecorder()
+
+
+def _set_recorder(recorder) -> None:
+    """Install the tape recorder (called by ``repro.nn.tape`` at
+    import).  While a recording is open, pool requests are redirected
+    to the tape's arena so a tape never aliases pooled free lists."""
+    global _REC
+    _REC = recorder
+
+
 class BufferPool:
     """Shape-keyed scratch arrays with per-step generation recycling.
 
@@ -108,6 +131,8 @@ class BufferPool:
         cursor advances minus this scope's misses), keeping counter
         bookkeeping off the fast path.
         """
+        if _REC.active:
+            return _REC.take(shape)
         entry = self._free.get(shape)
         if entry is not None:
             cursor = entry[0]
@@ -132,6 +157,8 @@ class BufferPool:
             return np.zeros(shape)
         buf = self.take(shape)
         buf.fill(0.0)
+        if _REC.active:
+            _REC.fill(buf, 0.0)
         return buf
 
     def ones(self, shape: Tuple[int, ...]) -> np.ndarray:
@@ -140,6 +167,8 @@ class BufferPool:
             return np.ones(shape)
         buf = self.take(shape)
         buf.fill(1.0)
+        if _REC.active:
+            _REC.fill(buf, 1.0)
         return buf
 
     # ------------------------------------------------------------------

@@ -1,0 +1,641 @@
+"""Plan/execute split: record warm training steps, replay them as tapes.
+
+DESIGN.md §10's honest conclusion about the buffer pool was that
+allocation was never the bottleneck — Python dispatch and graph
+re-walking per op were.  This module removes both.  The first time a
+training step runs for a given *shape signature*, the eager autograd
+path executes normally while a :class:`Recorder` captures every numpy
+kernel it launches — forward, backward, and optimizer update — as a
+flat list of ``(kernel, inputs, out)`` entries.  Subsequent steps with
+the same signature *replay* that tape: a tight loop over prebuilt
+closures, with no ``Tensor`` dunder dispatch, no graph construction,
+and no backward walk.
+
+Why replay is sound
+-------------------
+Replay re-executes the identical kernel sequence on the identical
+buffers, so three invariants carry the bitwise-parity argument:
+
+* **Stable storage.**  Parameters and optimizer moments are updated
+  in place (the pooled optimizer branches), pool requests during
+  recording are redirected to a tape-owned arena (never recycled), and
+  step-varying values (batch indices, noise, labels) enter through
+  *taped RNG entries* that refresh their buffer from the live
+  ``np.random.Generator`` on every replay — consuming the stream in
+  exactly the order the eager path would.
+* **Same kernels.**  Every entry replays the same ufunc on the same
+  operands (``np.add(a, b, out=buf)`` both times), so results are
+  bit-identical to an eager step with the same RNG stream.
+* **No hidden control flow.**  Compiled regions are data-independent
+  by construction (the ``tape-purity`` analysis rule and the parity
+  tests guard this); anything data-dependent — accept/reject loops,
+  logging, ``loss.item()`` consumers — stays outside in the wrapper.
+
+The planner then runs two passes over the recorded program:
+
+* a **liveness pass**: tape-owned intermediates are colored onto a
+  minimal set of physical buffers — a buffer is released at its last
+  use and its storage reused by later entries of the same shape,
+  shrinking peak tape bytes (the refcount-aware recycling §10 named
+  as the next lever);
+* a **peephole fusion pass**: adjacent entry pairs/chains whose link
+  value is tape-local (``matmul+add``, ``mul+add``, the 5-kernel
+  sigmoid chain) are merged into one composite closure, eliminating
+  per-entry dispatch — the tape-level generalization of the hand-done
+  GRU/LSTM gate fusions.
+
+Eager stays the oracle: ``REPRO_NN_TAPE=0`` (or
+:func:`configure`) disables compilation entirely and every
+``compiled_step`` falls through to the original eager body.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..telemetry.state import STATE as _TELEMETRY
+from . import pool as _pool
+from .pool import POOL as _POOL
+
+__all__ = [
+    "TAPE_ENV_VAR",
+    "Recorder",
+    "RECORDER",
+    "Tape",
+    "CompiledStep",
+    "compiled_step",
+    "configure",
+    "tape_enabled",
+    "invalidate_tapes",
+    "tape_stats",
+    "reset_tape_stats",
+    "ka",
+    "k_gather",
+    "taped_draw",
+    "fresh_zeros",
+]
+
+#: Set to ``0`` / ``false`` / ``off`` to disable tape compilation and
+#: keep every step on the eager path (the parity oracle).
+TAPE_ENV_VAR = "REPRO_NN_TAPE"
+
+_OFF_VALUES = frozenset({"0", "false", "off", "no"})
+
+_forced: Optional[bool] = None
+
+
+def tape_enabled() -> bool:
+    """True when compiled steps may record/replay tapes."""
+    if _forced is not None:
+        return _forced
+    return os.environ.get(TAPE_ENV_VAR, "1").strip().lower() not in _OFF_VALUES
+
+
+def configure(enabled: Optional[bool]) -> None:
+    """Force tapes on/off for this process (``None`` restores the
+    environment-variable default).  Used by tests and the bench."""
+    global _forced
+    _forced = enabled if enabled is None else bool(enabled)
+
+
+#: Process-wide generation counter: bumping it (``invalidate_tapes``)
+#: orphans every recorded tape, forcing re-record.  Bumped when
+#: parameter storage identity changes (``Module.load_state_dict``
+#: reassigns ``p.data``, which a recorded tape captured by reference).
+_GENERATION = 0
+
+
+def invalidate_tapes() -> None:
+    global _GENERATION
+    _GENERATION += 1
+
+
+# Aggregate counters for the bench / telemetry.
+_STATS = {"hits": 0, "misses": 0, "fused_ops": 0,
+          "bytes_recorded": 0, "bytes_planned": 0}
+
+
+def tape_stats() -> Dict[str, int]:
+    """Process-wide tape counters (replays, records, fusion, bytes)."""
+    return dict(_STATS)
+
+
+def reset_tape_stats() -> None:
+    for key in _STATS:
+        _STATS[key] = 0
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+class Recorder:
+    """Captures the kernel launches of one eager step.
+
+    ``active`` is the single attribute every shim tests; keeping it a
+    plain bool keeps the not-recording cost of a shimmed kernel to one
+    attribute load.  Entry tags:
+
+    ``("k", fn, args, out, kw)``
+        executed as ``fn(*args, out=out, **kw)``
+    ``("a", fn, args, res, kw)``
+        allocating call ``res = fn(*args, **kw)``; replayed with
+        ``out=res`` when ``fn`` supports it, else ``np.copyto``
+    ``("g", src, key, res)``
+        fancy-index gather ``res = src[key]``
+    ``("ip", fn, args)``
+        in-place mutator, e.g. ``np.add.at``
+    ``("fill", buf, value)`` / ``("copy", dst, src)``
+    ``("rng", draw, buf)``
+        replay refreshes ``buf`` from the live generator via
+        ``draw()`` — stream order is the recorded order
+    ``("host", closure)``
+        opaque host-state advance (e.g. Adam's step counter); must
+        not touch tape-owned buffers
+    """
+
+    __slots__ = ("active", "entries", "owned", "_buffers")
+
+    def __init__(self):
+        self.active = False
+        self.entries: List[Tuple] = []
+        self.owned: Dict[int, np.ndarray] = {}
+        self._buffers: List[np.ndarray] = []
+
+    # -- lifecycle -----------------------------------------------------
+    def begin(self) -> None:
+        if self.active:
+            raise RuntimeError("recorder is already active")
+        self.entries = []
+        self.owned = {}
+        self._buffers = []
+        self.active = True
+
+    def end(self) -> List[Tuple]:
+        self.active = False
+        entries, self.entries = self.entries, []
+        return entries
+
+    # -- the pool redirect (tape arena) --------------------------------
+    def take(self, shape: Tuple[int, ...]) -> np.ndarray:
+        """Pool requests while recording come from tape-owned storage,
+        never the global free lists — a tape must not alias buffers an
+        enclosing ``step_scope`` may hand to someone else."""
+        buf = np.empty(shape)
+        self.owned[id(buf)] = buf
+        self._buffers.append(buf)
+        return buf
+
+    def _own(self, res: Any) -> None:
+        if isinstance(res, np.ndarray) and res.base is None:
+            self.owned.setdefault(id(res), res)
+
+    # -- entry appends -------------------------------------------------
+    def k(self, fn, args: Tuple, out: np.ndarray, kw: Optional[dict] = None):
+        self.entries.append(("k", fn, args, out, kw))
+
+    def a(self, fn, args: Tuple, res, kw: Optional[dict] = None):
+        self._own(res)
+        self.entries.append(("a", fn, args, res, kw))
+
+    def gather(self, src: np.ndarray, key, res: np.ndarray) -> None:
+        self._own(res)
+        self.entries.append(("g", src, key, res))
+
+    def inplace(self, fn, args: Tuple) -> None:
+        self.entries.append(("ip", fn, args))
+
+    def fill(self, buf: np.ndarray, value: float) -> None:
+        self.entries.append(("fill", buf, value))
+
+    def copy(self, dst: np.ndarray, src: np.ndarray) -> None:
+        self.entries.append(("copy", dst, src))
+
+    def rng(self, draw: Callable[[], np.ndarray], buf: np.ndarray) -> None:
+        self.owned.pop(id(buf), None)  # pinned: the closure holds it
+        self.entries.append(("rng", draw, buf))
+
+    def host(self, closure: Callable[[], None]) -> None:
+        self.entries.append(("host", closure))
+
+
+#: The process-wide recorder every shimmed kernel reports to.
+RECORDER = Recorder()
+_pool._set_recorder(RECORDER)
+
+
+# ----------------------------------------------------------------------
+# Shim helpers (the non-dunder kernel call sites use these)
+# ----------------------------------------------------------------------
+def ka(fn, *args, **kw):
+    """Run an allocating kernel and record it when a tape is open."""
+    res = fn(*args, **kw)
+    if RECORDER.active:
+        if not isinstance(res, np.ndarray):
+            # Full reductions return numpy scalars, which replay cannot
+            # refresh in place; promote to a 0-d array (same bits, and
+            # downstream Tensor construction re-wraps either form).
+            res = np.asarray(res)
+        RECORDER.a(fn, args, res, kw or None)
+    return res
+
+
+def k_gather(arr: np.ndarray, key) -> np.ndarray:
+    """Fancy-index gather ``arr[key]`` (a copy), replayed with the
+    live key contents so taped batch indices select fresh rows."""
+    res = arr[key]
+    if RECORDER.active:
+        RECORDER.gather(arr, key, res)
+    return res
+
+
+def taped_draw(draw: Callable[[], np.ndarray]) -> np.ndarray:
+    """Execute an RNG draw; on replay the same ``draw`` closure runs
+    against the live generator and refreshes the same buffer, so the
+    stream is consumed in recorded order."""
+    vals = draw()
+    if RECORDER.active:
+        RECORDER.rng(draw, vals)
+    return vals
+
+
+def fresh_zeros(shape) -> np.ndarray:
+    """A zeroed accumulator that is re-zeroed on every replay."""
+    buf = np.zeros(shape)
+    if RECORDER.active:
+        RECORDER._own(buf)
+        RECORDER.fill(buf, 0.0)
+    return buf
+
+
+# ----------------------------------------------------------------------
+# Planning: liveness coloring + peephole fusion + closure build
+# ----------------------------------------------------------------------
+# Callables that accept ``out=`` (ufuncs are detected by type).
+_OUT_CAPABLE = {np.sum, np.max, np.min, np.stack, np.concatenate,
+                np.clip, np.take, np.cumsum, np.add.reduce}
+
+
+def _accepts_out(fn) -> bool:
+    return isinstance(fn, np.ufunc) or fn in _OUT_CAPABLE
+
+
+def _walk_arrays(obj, visit) -> None:
+    if isinstance(obj, np.ndarray):
+        visit(obj)
+    elif isinstance(obj, (tuple, list)):
+        for item in obj:
+            _walk_arrays(item, visit)
+
+
+def _map_arrays(obj, mapping: Dict[int, np.ndarray]):
+    if isinstance(obj, np.ndarray):
+        return mapping.get(id(obj), obj)
+    if isinstance(obj, tuple):
+        return tuple(_map_arrays(item, mapping) for item in obj)
+    if isinstance(obj, list):
+        return [_map_arrays(item, mapping) for item in obj]
+    return obj
+
+
+def _entry_refs(entry: Tuple):
+    """(reads, writes) array lists of one structural entry."""
+    tag = entry[0]
+    if tag == "k":
+        return [entry[2]], [entry[3]]
+    if tag == "a":
+        return [entry[2]], [entry[3]]
+    if tag == "g":
+        return [entry[1], entry[2]], [entry[3]]
+    if tag == "ip":       # mutates args[0], reads the rest
+        return [entry[2]], [entry[2][0]] if entry[2] else []
+    if tag == "fill":
+        return [], [entry[1]]
+    if tag == "copy":
+        return [entry[2]], [entry[1]]
+    if tag == "rng":
+        return [], [entry[2]]
+    return [], []          # host
+
+
+def _plan_buffers(entries: List[Tuple], owned: Dict[int, np.ndarray],
+                  outputs: List[np.ndarray]) -> Tuple[List[Tuple], int, int]:
+    """Color tape-owned intermediates onto shared physical buffers.
+
+    A buffer's live interval runs from its defining entry to its last
+    use; after that its physical storage is released into a per-
+    (shape, dtype) free pool for later defs.  Reuse is deliberately
+    conservative: a released buffer only backs defs at *strictly
+    later* entries, so a kernel never writes a physical buffer one of
+    its own operands still occupies (matmul forbids out-aliasing).
+    Pinned (never remapped): step outputs, RNG-entry buffers (their
+    refresh closures captured the array), and any buffer other
+    entries reach through a numpy view — remapping the base would
+    orphan the view.
+    """
+    first: Dict[int, int] = {}
+    last: Dict[int, int] = {}
+
+    def root(a: np.ndarray) -> np.ndarray:
+        while isinstance(a.base, np.ndarray):
+            a = a.base
+        return a
+
+    # Outputs pin their *storage*: a step output may be a view
+    # (transpose/reshape/slice), and remapping its base would leave the
+    # view reading whatever later def reused the buffer.
+    pinned = {id(o) for o in outputs} | {id(root(o)) for o in outputs}
+
+    for i, entry in enumerate(entries):
+        if entry[0] == "rng":
+            pinned.add(id(entry[2]))
+
+        def visit(a, i=i):
+            base = root(a)
+            if id(base) not in owned:
+                return
+            if a is not base:
+                pinned.add(id(base))
+            first.setdefault(id(base), i)
+            last[id(base)] = i
+
+        reads, writes = _entry_refs(entry)
+        _walk_arrays(reads, visit)
+        _walk_arrays(writes, visit)
+
+    bytes_recorded = sum(b.nbytes for b in owned.values())
+
+    free: Dict[Tuple, List[np.ndarray]] = {}
+    mapping: Dict[int, np.ndarray] = {}
+    expiring: Dict[int, List[np.ndarray]] = {}
+    planned: List[np.ndarray] = []
+
+    for i in range(len(entries)):
+        # Defs first (cannot grab storage released by this entry's own
+        # reads), then releases scheduled at this index.
+        for bid, start in first.items():
+            if start != i or bid in pinned:
+                continue
+            buf = owned[bid]
+            key = (buf.shape, buf.dtype.str)
+            pool_ = free.get(key)
+            phys = pool_.pop() if pool_ else None
+            if phys is None:
+                phys = buf    # first tenant keeps the recorded storage
+                planned.append(phys)
+            mapping[bid] = phys
+            expiring.setdefault(last[bid], []).append(phys)
+        for phys in expiring.pop(i, ()):
+            free.setdefault((phys.shape, phys.dtype.str), []).append(phys)
+
+    bytes_planned = (sum(b.nbytes for b in planned)
+                     + sum(owned[bid].nbytes for bid in pinned
+                           if bid in owned))
+
+    if mapping:
+        remapped = []
+        for entry in entries:
+            if entry[0] in ("rng", "host"):
+                remapped.append(entry)
+            else:
+                remapped.append(tuple(_map_arrays(part, mapping)
+                                      for part in entry))
+        entries = remapped
+    return entries, bytes_recorded, bytes_planned
+
+
+def _make_closure(entry: Tuple) -> Callable[[], Any]:
+    tag = entry[0]
+    if tag == "k" or (tag == "a" and _accepts_out(entry[1])):
+        fn, args, out, kw = entry[1], entry[2], entry[3], entry[4]
+        if kw:
+            return lambda: fn(*args, out=out, **kw)
+        if len(args) == 1:
+            a0 = args[0]
+            return lambda: fn(a0, out=out)
+        if len(args) == 2:
+            a0, a1 = args
+            return lambda: fn(a0, a1, out=out)
+        return lambda: fn(*args, out=out)
+    if tag == "a":
+        fn, args, res, kw = entry[1], entry[2], entry[3], entry[4]
+        if kw:
+            return lambda: np.copyto(res, fn(*args, **kw), casting="unsafe")
+        return lambda: np.copyto(res, fn(*args), casting="unsafe")
+    if tag == "g":
+        src, key, res = entry[1], entry[2], entry[3]
+        return lambda: np.copyto(res, src[key], casting="unsafe")
+    if tag == "ip":
+        fn, args = entry[1], entry[2]
+        return lambda: fn(*args)
+    if tag == "fill":
+        buf, value = entry[1], entry[2]
+        return lambda: buf.fill(value)
+    if tag == "copy":
+        dst, src = entry[1], entry[2]
+        return lambda: np.copyto(dst, src)
+    if tag == "rng":
+        draw, buf = entry[1], entry[2]
+        return lambda: np.copyto(buf, draw(), casting="unsafe")
+    return entry[1]  # host closure
+
+
+def _out_of(entry: Tuple) -> Optional[np.ndarray]:
+    if entry[0] == "k":
+        return entry[3]
+    if entry[0] in ("a", "g"):
+        return entry[3]
+    return None
+
+
+def _links_to(entry: Tuple, value: Optional[np.ndarray]) -> bool:
+    if value is None or entry[0] not in ("k", "a"):
+        return False
+    return any(a is value for a in entry[2])
+
+
+_SIGMOID_CHAIN = (np.clip, np.negative, np.exp, np.add, np.divide)
+
+
+def _fuse(entries: List[Tuple],
+          closures: List[Callable]) -> Tuple[List[Callable], int]:
+    """Peephole pass: merge adjacent entries whose link value flows
+    straight into the next kernel.  Fusion only coalesces Python
+    dispatch — the composite closure runs the identical kernel
+    sequence on the identical buffers, so it is bitwise-neutral."""
+    fused: List[Callable] = []
+    removed = 0
+    i = 0
+    n = len(entries)
+    while i < n:
+        entry = entries[i]
+        fn = entry[1] if entry[0] in ("k", "a") else None
+        # sigmoid chain: clip -> negative -> exp -> 1+ -> 1/
+        if fn is _SIGMOID_CHAIN[0] and i + 4 < n:
+            window = entries[i:i + 5]
+            if all(w[0] in ("k", "a") and w[1] is _SIGMOID_CHAIN[j]
+                   for j, w in enumerate(window)) and all(
+                       _links_to(window[j + 1], _out_of(window[j]))
+                       for j in range(4)):
+                ops = [closures[i + j] for j in range(5)]
+
+                def run5(ops=tuple(ops)):
+                    for op in ops:
+                        op()
+                fused.append(run5)
+                removed += 4
+                i += 5
+                continue
+        # pairwise: (matmul|multiply) + add, tanh feeding a multiply
+        if fn in (np.matmul, np.multiply, np.tanh) and i + 1 < n:
+            nxt = entries[i + 1]
+            wanted = np.add if fn in (np.matmul, np.multiply) else np.multiply
+            if (nxt[0] in ("k", "a") and nxt[1] is wanted
+                    and _links_to(nxt, _out_of(entry))):
+                first_op, second_op = closures[i], closures[i + 1]
+
+                def run2(a=first_op, b=second_op):
+                    a()
+                    b()
+                fused.append(run2)
+                removed += 1
+                i += 2
+                continue
+        fused.append(closures[i])
+        i += 1
+    return fused, removed
+
+
+class Tape:
+    """A finalized, replayable step: closures plus output buffers."""
+
+    __slots__ = ("ops", "outs", "scalar", "generation", "fused_ops",
+                 "bytes_recorded", "bytes_planned", "_keepalive")
+
+    def __init__(self, entries: List[Tuple], owned: Dict[int, np.ndarray],
+                 outs: List[np.ndarray], scalar: bool):
+        entries, rec_bytes, plan_bytes = _plan_buffers(entries, owned, outs)
+        closures = [_make_closure(e) for e in entries]
+        self.ops, self.fused_ops = _fuse(entries, closures)
+        self.outs = outs
+        self.scalar = scalar
+        self.generation = _GENERATION
+        self.bytes_recorded = rec_bytes
+        self.bytes_planned = plan_bytes
+        self._keepalive = entries  # pins captured operand arrays
+
+    def replay(self) -> None:
+        for op in self.ops:
+            op()
+
+    def results(self):
+        if self.scalar:
+            return float(self.outs[0])
+        return [float(o) for o in self.outs]
+
+    def result_arrays(self):
+        arrays = [o.copy() for o in self.outs]
+        return arrays[0] if self.scalar else arrays
+
+
+# ----------------------------------------------------------------------
+# The public wrapper
+# ----------------------------------------------------------------------
+#: Per-CompiledStep tape cache bound (LRU): chunked fine-tuning swaps
+#: data arrays, and each distinct array identity records a fresh tape.
+_MAX_TAPES = 4
+
+
+class CompiledStep:
+    """Compile a training-step function into replayable tapes.
+
+    ``fn(*args)`` must run one full training step *without* opening its
+    own ``step_scope`` (the wrapper provides it), must route every
+    per-step random draw through :func:`taped_draw`, and must return
+    the scalar loss ``Tensor`` (or a list of them).  ``run(key, ...)``
+    returns the loss as float(s).  ``key`` is the step's shape
+    signature — batch sizes plus the identities of the arrays the step
+    closes over; any change records a fresh tape.
+
+    When tapes are disabled (``REPRO_NN_TAPE=0``), the pool is off, or
+    a recording is already open (a compiled step nested inside another
+    compiled region), the call falls through to the eager body.
+    """
+
+    __slots__ = ("fn", "label", "extract", "_tapes")
+
+    def __init__(self, fn: Callable, label: str = "step",
+                 extract: str = "float"):
+        self.fn = fn
+        self.label = label
+        self.extract = extract
+        self._tapes: Dict[Tuple, Tape] = {}
+
+    def _finish(self, result):
+        scalar = not isinstance(result, (list, tuple))
+        tensors = [result] if scalar else list(result)
+        outs = [t.data if hasattr(t, "data") else np.asarray(t)
+                for t in tensors]
+        return outs, scalar
+
+    def _eager(self, args):
+        with _POOL.step_scope():
+            outs, scalar = self._finish(self.fn(*args))
+            if self.extract == "array":
+                arrays = [o.copy() for o in outs]
+                return arrays[0] if scalar else arrays
+            values = [float(o) for o in outs]
+            return values[0] if scalar else values
+
+    def run(self, key: Tuple, *args):
+        if not tape_enabled() or not _POOL.enabled or RECORDER.active:
+            return self._eager(args)
+        tape = self._tapes.get(key)
+        if tape is not None and tape.generation == _GENERATION:
+            tape.replay()
+            _STATS["hits"] += 1
+            if _TELEMETRY.enabled:
+                _TELEMETRY.registry.counter("nn.tape.hits").inc()
+            return (tape.result_arrays() if self.extract == "array"
+                    else tape.results())
+        RECORDER.begin()
+        try:
+            with _POOL.step_scope():
+                outs, scalar = self._finish(self.fn(*args))
+        finally:
+            entries = RECORDER.end()
+        tape = Tape(entries, RECORDER.owned, outs, scalar)
+        if len(self._tapes) >= _MAX_TAPES:
+            self._tapes.pop(next(iter(self._tapes)))
+        self._tapes[key] = tape
+        _STATS["misses"] += 1
+        _STATS["fused_ops"] += tape.fused_ops
+        _STATS["bytes_recorded"] += tape.bytes_recorded
+        _STATS["bytes_planned"] += tape.bytes_planned
+        if _TELEMETRY.enabled:
+            registry = _TELEMETRY.registry
+            registry.counter("nn.tape.misses").inc()
+            registry.counter("nn.tape.fused_ops").inc(tape.fused_ops)
+        return (tape.result_arrays() if self.extract == "array"
+                else tape.results())
+
+
+def compiled_step(fn: Callable, label: str = "step",
+                  extract: str = "float") -> CompiledStep:
+    """Convenience constructor mirroring ``step_scope()`` at the call
+    sites: ``self._c_disc = compiled_step(self._disc_core, "dg.disc")``."""
+    return CompiledStep(fn, label=label, extract=extract)
+
+
+@contextlib.contextmanager
+def _recording_disabled():
+    """Internal: temporarily force-eager (used by tests)."""
+    previous = _forced
+    configure(False)
+    try:
+        yield
+    finally:
+        configure(previous)

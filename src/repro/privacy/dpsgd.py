@@ -16,6 +16,7 @@ import numpy as np
 from ..nn.autograd import Tensor, grad
 from ..nn.layers import Parameter
 from ..nn.optim import clip_global_norm
+from ..nn.tape import RECORDER as _REC, fresh_zeros, ka as _ka, taped_draw
 from ..telemetry import emit_event
 from ..telemetry.state import STATE as _TELEMETRY
 from .accountant import RdpAccountant
@@ -52,30 +53,43 @@ def privatize_gradients(
     batch numpy kernels instead of a Python loop per example.  Every
     reduction runs in the same element order as the per-example loop
     (see :func:`_privatize_gradients_loop`), so the output is
-    bit-identical to the reference implementation.
+    bit-identical to the reference implementation.  All kernels and the
+    noise draw go through the tape shims so a recorded DP step replays
+    exactly (the noise is re-drawn from the live generator in stream
+    order).
     """
     if not per_example_grads:
         raise ValueError("need at least one example")
     n = len(per_example_grads)
     stacked = [
-        np.stack([np.asarray(example[p]) for example in per_example_grads])
+        _ka(np.stack,
+            [np.asarray(example[p]) for example in per_example_grads])
         for p in range(len(per_example_grads[0]))
     ]
     # Per-example global L2 norms, accumulated across parameters in the
     # same order clip_global_norm sums them.
-    sq_norms = np.zeros(n)
+    sq_norms = fresh_zeros(n)
     for block in stacked:
-        sq_norms += (block * block).reshape(n, -1).sum(axis=1)
-    norms = np.sqrt(sq_norms)
-    factors = np.ones(n)
-    over = norms > config.clip_norm
-    factors[over] = config.clip_norm / norms[over]
+        sq = _ka(np.multiply, block, block)
+        part = _ka(np.sum, sq.reshape(n, -1), axis=1)
+        np.add(sq_norms, part, out=sq_norms)
+        if _REC.active:
+            _REC.k(np.add, (sq_norms, part), sq_norms)
+    norms = _ka(np.sqrt, sq_norms)
+    # Branchless clip factor: clip / max(norm, clip).  Bit-identical to
+    # the masked form — norms above the clip divide exactly the same,
+    # and clip / clip == 1.0 exactly otherwise.
+    factors = _ka(np.divide, config.clip_norm,
+                  _ka(np.maximum, norms, config.clip_norm))
     scale = config.noise_multiplier * config.clip_norm
     noisy = []
     for block in stacked:
         shaped = factors.reshape((n,) + (1,) * (block.ndim - 1))
-        total = np.add.reduce(block * shaped, axis=0)
-        noisy.append((total + rng.normal(0.0, scale, size=total.shape)) / n)
+        prod = _ka(np.multiply, block, shaped)
+        total = _ka(np.add.reduce, prod, axis=0)
+        noise = taped_draw(
+            lambda shape=total.shape: rng.normal(0.0, scale, size=shape))
+        noisy.append(_ka(np.divide, _ka(np.add, total, noise), n))
     return noisy
 
 

@@ -6,7 +6,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .report import report
+from .report import diff_report, report
 
 __all__ = ["main"]
 
@@ -20,17 +20,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     rep = sub.add_parser(
         "report", help="summarize a run journal (events.jsonl)")
     rep.add_argument(
-        "journal",
+        "journal", nargs="?",
         help="events.jsonl file, a run directory, or a journal base "
              "directory (newest run is picked)")
     rep.add_argument("--format", choices=("text", "json"), default="text",
                      help="output format (default: text)")
     rep.add_argument("--top", type=int, default=10, metavar="N",
                      help="how many slowest spans to show (default: 10)")
+    rep.add_argument(
+        "--diff", nargs=2, metavar=("A", "B"),
+        help="compare two journals (A = baseline, B = candidate): epoch "
+             "timings, cache hit-rate counters, accept/reject tallies, "
+             "and the DP epsilon ledger")
+    rep.add_argument(
+        "--fail-on-regression", type=float, metavar="PCT",
+        help="with --diff: exit 3 if any metric in B is worse than A by "
+             "more than PCT percent")
 
     args = parser.parse_args(argv)
     if args.command == "report":
+        if args.fail_on_regression is not None and args.diff is None:
+            parser.error("--fail-on-regression requires --diff")
+        if args.diff is not None and args.journal is not None:
+            parser.error("--diff takes its journals as A B, not a "
+                         "positional argument")
+        if args.diff is None and args.journal is None:
+            parser.error("journal path required (or use --diff A B)")
         try:
+            if args.diff is not None:
+                text, regressed = diff_report(
+                    args.diff[0], args.diff[1], output_format=args.format,
+                    fail_on_regression=args.fail_on_regression)
+                print(text)
+                if regressed and args.fail_on_regression is not None:
+                    return 3
+                return 0
             print(report(args.journal, output_format=args.format,
                          top_spans=args.top))
         except FileNotFoundError as exc:

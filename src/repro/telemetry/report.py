@@ -16,7 +16,8 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from .journal import load_journal
 from .metrics import Histogram
 
-__all__ = ["summarize", "render_text", "report"]
+__all__ = ["summarize", "render_text", "report",
+           "diff_summaries", "render_diff_text", "diff_report"]
 
 
 def _walk_spans(node: Dict[str, Any], path: str = ""
@@ -287,3 +288,211 @@ def report(path, output_format: str = "text", top_spans: int = 10) -> str:
     if output_format == "json":
         return json.dumps(summary, indent=2)
     return render_text(summary)
+
+
+# ---------------------------------------------------------------------------
+# journal diffing (``report --diff A B``)
+# ---------------------------------------------------------------------------
+
+def _pct_change(a: Optional[float], b: Optional[float]) -> Optional[float]:
+    """Percent change from a to b; None when undefined (a missing/zero)."""
+    if a is None or b is None or a == 0:
+        return None
+    return (b - a) / abs(a) * 100.0
+
+
+def _total_train_seconds(summary: Dict[str, Any]) -> Optional[float]:
+    fit = summary.get("fit")
+    if not fit:
+        return None
+    chunks = [c.get("train_seconds") for c in fit.get("chunks", ())]
+    chunks = [c for c in chunks if isinstance(c, (int, float))]
+    if chunks:
+        return float(sum(chunks))
+    totals = [t.get("wall_seconds") for t in fit.get("totals", ())]
+    totals = [t for t in totals if isinstance(t, (int, float))]
+    return float(sum(totals)) if totals else None
+
+
+def _cache_rates(summary: Dict[str, Any]) -> Dict[str, float]:
+    """Hit rates from paired ``<name>.hits`` / ``<name>.misses`` counters."""
+    counters = (summary.get("metrics") or {}).get("counters") or {}
+    rates: Dict[str, float] = {}
+    for name, hits in counters.items():
+        if not name.endswith(".hits"):
+            continue
+        base = name[: -len(".hits")]
+        misses = counters.get(base + ".misses", 0.0)
+        total = float(hits) + float(misses)
+        if total > 0:
+            rates[base] = float(hits) / total
+    return rates
+
+
+def _accept_reject(summary: Dict[str, Any]) -> Optional[Tuple[int, int]]:
+    gen = summary.get("generate")
+    if not gen:
+        return None
+    accepted = sum(int(r.get("accepted") or 0) for r in gen.get("rounds", ()))
+    rejected = sum(int(r.get("rejected") or 0) for r in gen.get("rounds", ()))
+    if accepted == 0 and rejected == 0:
+        return None
+    return accepted, rejected
+
+
+def _final_epsilon(summary: Dict[str, Any]) -> Optional[float]:
+    dp = summary.get("dp")
+    if not dp:
+        return None
+    eps = [e.get("epsilon") for e in dp.get("per_chunk", ())]
+    eps += [e.get("epsilon") for e in dp.get("steps", ())]
+    eps = [e for e in eps if isinstance(e, (int, float))]
+    return max(eps) if eps else None
+
+
+def diff_summaries(a: Dict[str, Any], b: Dict[str, Any],
+                   fail_on_regression: Optional[float] = None
+                   ) -> Dict[str, Any]:
+    """Compare two run summaries (A = baseline, B = candidate).
+
+    Covers the four ledgers the bench and CI care about: epoch/chunk
+    train timings, cache hit-rate counters (``*.hits``/``*.misses``
+    pairs), generate-round accept/reject tallies, and the DP ε
+    trajectory.  A *regression* is B being worse than A beyond the
+    ``fail_on_regression`` percentage threshold: slower training, a
+    lower cache hit rate, a higher rejection share, or more ε spent.
+    """
+    diff: Dict[str, Any] = {
+        "runs": {
+            "a": a.get("run", {}).get("run_id"),
+            "b": b.get("run", {}).get("run_id"),
+        },
+    }
+    regressions: List[Dict[str, Any]] = []
+    threshold = fail_on_regression
+
+    def flag(metric: str, a_val: float, b_val: float,
+             change_pct: Optional[float]) -> None:
+        if threshold is None or change_pct is None:
+            return
+        if change_pct > threshold:
+            regressions.append({
+                "metric": metric, "a": a_val, "b": b_val,
+                "change_pct": change_pct,
+            })
+
+    # -- epoch/chunk timings -------------------------------------------
+    ta, tb = _total_train_seconds(a), _total_train_seconds(b)
+    if ta is not None or tb is not None:
+        change = _pct_change(ta, tb)
+        diff["train_seconds"] = {"a": ta, "b": tb, "change_pct": change}
+        if ta is not None and tb is not None:
+            flag("train_seconds", ta, tb, change)
+
+    # -- cache hit counters --------------------------------------------
+    ra, rb = _cache_rates(a), _cache_rates(b)
+    caches: Dict[str, Any] = {}
+    for name in sorted(set(ra) | set(rb)):
+        entry = {"a": ra.get(name), "b": rb.get(name)}
+        if name in ra and name in rb:
+            # Hit rates live in [0, 1]; diff in percentage points and
+            # flag *drops* (a lower rate in B is the regression).
+            entry["change_pp"] = (rb[name] - ra[name]) * 100.0
+            flag(f"cache:{name}", ra[name], rb[name],
+                 -entry["change_pp"])
+        caches[name] = entry
+    if caches:
+        diff["cache_hit_rates"] = caches
+
+    # -- generate accept/reject ----------------------------------------
+    ga, gb = _accept_reject(a), _accept_reject(b)
+    if ga or gb:
+        entry: Dict[str, Any] = {"a": ga, "b": gb}
+        if ga and gb:
+            share_a = ga[1] / max(ga[0] + ga[1], 1)
+            share_b = gb[1] / max(gb[0] + gb[1], 1)
+            entry["reject_share_a"] = share_a
+            entry["reject_share_b"] = share_b
+            flag("reject_share", share_a, share_b,
+                 (share_b - share_a) * 100.0)
+        diff["accept_reject"] = entry
+
+    # -- dp epsilon ledger ---------------------------------------------
+    ea, eb = _final_epsilon(a), _final_epsilon(b)
+    if ea is not None or eb is not None:
+        change = _pct_change(ea, eb)
+        diff["epsilon"] = {"a": ea, "b": eb, "change_pct": change}
+        if ea is not None and eb is not None:
+            flag("epsilon", ea, eb, change)
+
+    diff["regressions"] = regressions
+    return diff
+
+
+def render_diff_text(diff: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`diff_summaries`'s output."""
+    lines: List[str] = []
+    runs = diff.get("runs", {})
+    lines.append(f"diff {runs.get('a')} -> {runs.get('b')}")
+
+    def fmt_pct(value: Optional[float]) -> str:
+        return f"{value:+.1f}%" if value is not None else "n/a"
+
+    train = diff.get("train_seconds")
+    if train:
+        lines.append(
+            f"  train: {_fmt_seconds(train['a'])} -> "
+            f"{_fmt_seconds(train['b'])} ({fmt_pct(train.get('change_pct'))})")
+
+    caches = diff.get("cache_hit_rates")
+    if caches:
+        lines.append("  cache hit rates:")
+        for name, entry in caches.items():
+            a_txt = (f"{entry['a'] * 100:.1f}%" if entry.get("a") is not None
+                     else "-")
+            b_txt = (f"{entry['b'] * 100:.1f}%" if entry.get("b") is not None
+                     else "-")
+            pp = entry.get("change_pp")
+            pp_txt = f" ({pp:+.1f}pp)" if pp is not None else ""
+            lines.append(f"    {name}: {a_txt} -> {b_txt}{pp_txt}")
+
+    acc = diff.get("accept_reject")
+    if acc:
+        def fmt_pair(pair):
+            return (f"{pair[0]} accepted / {pair[1]} rejected"
+                    if pair else "-")
+        lines.append(f"  generate: {fmt_pair(acc.get('a'))} -> "
+                     f"{fmt_pair(acc.get('b'))}")
+
+    eps = diff.get("epsilon")
+    if eps:
+        def fmt_eps(value):
+            return f"{value:.3f}" if value is not None else "-"
+        lines.append(
+            f"  epsilon: {fmt_eps(eps['a'])} -> {fmt_eps(eps['b'])} "
+            f"({fmt_pct(eps.get('change_pct'))})")
+
+    regressions = diff.get("regressions") or []
+    if regressions:
+        lines.append("regressions:")
+        for entry in regressions:
+            lines.append(
+                f"  {entry['metric']}: {entry['a']:.4g} -> "
+                f"{entry['b']:.4g} ({entry['change_pct']:+.1f}%)")
+    else:
+        lines.append("no regressions")
+    return "\n".join(lines)
+
+
+def diff_report(path_a, path_b, output_format: str = "text",
+                fail_on_regression: Optional[float] = None
+                ) -> Tuple[str, bool]:
+    """Diff two journals; returns (rendering, has_regressions)."""
+    meta_a, events_a = load_journal(path_a)
+    meta_b, events_b = load_journal(path_b)
+    diff = diff_summaries(
+        summarize(meta_a, events_a), summarize(meta_b, events_b),
+        fail_on_regression=fail_on_regression)
+    text = (json.dumps(diff, indent=2) if output_format == "json"
+            else render_diff_text(diff))
+    return text, bool(diff["regressions"])

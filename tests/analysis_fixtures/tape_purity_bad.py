@@ -1,0 +1,23 @@
+"""Positive fixture: exactly one `tape-purity` finding.
+
+The running-mean update writes through ``out=`` inside a compiled-step
+core: the write happens on the recording step and never again on warm
+replays, so the eager and taped runs diverge.
+"""
+
+import numpy as np
+
+from repro.nn.tape import compiled_step, taped_draw
+
+
+class Trainer:
+    def __init__(self, rng, state):
+        self._rng = rng
+        self._state = state
+        self._step = compiled_step(self._train_core, "fixture.train")
+
+    def _train_core(self, batch):
+        noise = taped_draw(lambda: self._rng.normal(size=batch.shape))
+        loss = float((batch * noise).sum())
+        np.add(self._state, batch, out=self._state)
+        return loss

@@ -1,0 +1,25 @@
+"""Negative fixture: the compiled-step core keeps every side effect on
+the tape (draws via taped_draw, kernels via ka), and the untaped
+bookkeeping lives in the wrapper outside the compiled region."""
+
+import numpy as np
+
+from repro.nn.tape import compiled_step, ka, taped_draw
+
+
+class Trainer:
+    def __init__(self, rng, state):
+        self._rng = rng
+        self._state = state
+        self._step = compiled_step(self._train_core, "fixture.train")
+
+    def train(self, batch):
+        loss = self._step.run((id(batch), batch.shape), batch)
+        # Untaped bookkeeping is fine out here: the wrapper runs
+        # eagerly on every step, recorded or replayed.
+        np.add(self._state, batch, out=self._state)
+        return loss
+
+    def _train_core(self, batch):
+        noise = taped_draw(lambda: self._rng.normal(size=batch.shape))
+        return ka(np.multiply, batch, noise).sum()

@@ -46,6 +46,7 @@ RULE_CASES = {
                             "src/repro/metrics/fixture.py"),
     "api_hygiene": ("api-hygiene", "src/repro/core/fixture.py"),
     "pool_scope": ("pool-scope", "src/repro/core/fixture.py"),
+    "tape_purity": ("tape-purity", "src/repro/core/fixture.py"),
 }
 
 

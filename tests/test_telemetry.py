@@ -238,6 +238,76 @@ class TestJournal:
         )
         assert proc.returncode == 2
 
+    @staticmethod
+    def _write_run(base, run_id, train_seconds, hits, misses,
+                   accepted, rejected, epsilon):
+        with telemetry.session(journal_dir=base, run_id=run_id):
+            telemetry.emit_event("chunk_result", chunk=0, mode="train",
+                                 train_seconds=train_seconds, epochs=2)
+            telemetry.metrics().counter("nn.tape.hits").inc(hits)
+            telemetry.metrics().counter("nn.tape.misses").inc(misses)
+            telemetry.emit_event("generate_round", round=0, tasks=4,
+                                 accepted=accepted, rejected=rejected,
+                                 records=accepted * 10, shortfall=0)
+            telemetry.emit_event("dp_epsilon", chunk=0, steps=5,
+                                 epsilon=epsilon)
+
+    def test_diff_summaries(self, tmp_path):
+        from repro.telemetry.report import diff_summaries
+        self._write_run(tmp_path / "a", "a", train_seconds=1.0,
+                        hits=90, misses=10, accepted=4, rejected=0,
+                        epsilon=1.0)
+        self._write_run(tmp_path / "b", "b", train_seconds=2.0,
+                        hits=50, misses=50, accepted=2, rejected=2,
+                        epsilon=1.5)
+        a = summarize(*load_journal(tmp_path / "a"))
+        b = summarize(*load_journal(tmp_path / "b"))
+        diff = diff_summaries(a, b, fail_on_regression=10.0)
+        assert diff["train_seconds"]["change_pct"] == pytest.approx(100.0)
+        assert diff["cache_hit_rates"]["nn.tape"]["change_pp"] == (
+            pytest.approx(-40.0))
+        assert diff["epsilon"]["change_pct"] == pytest.approx(50.0)
+        metrics = {r["metric"] for r in diff["regressions"]}
+        assert metrics == {
+            "train_seconds", "cache:nn.tape", "reject_share", "epsilon"}
+        # Same run against itself: nothing regresses.
+        clean = diff_summaries(a, a, fail_on_regression=10.0)
+        assert clean["regressions"] == []
+
+    def test_report_cli_diff(self, tmp_path):
+        self._write_run(tmp_path / "a", "a", train_seconds=1.0,
+                        hits=90, misses=10, accepted=4, rejected=0,
+                        epsilon=1.0)
+        self._write_run(tmp_path / "b", "b", train_seconds=2.0,
+                        hits=50, misses=50, accepted=2, rejected=2,
+                        epsilon=1.5)
+        cwd = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = {**os.environ, "PYTHONPATH": "src"}
+        # Without --fail-on-regression the diff renders and exits 0.
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.telemetry", "report", "--diff",
+             str(tmp_path / "a"), str(tmp_path / "b")],
+            capture_output=True, text=True, env=env, cwd=cwd)
+        assert proc.returncode == 0, proc.stderr
+        assert "train:" in proc.stdout and "nn.tape" in proc.stdout
+        # With the threshold, the slower/lossier run B exits 3.
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.telemetry", "report", "--diff",
+             str(tmp_path / "a"), str(tmp_path / "b"),
+             "--fail-on-regression", "10", "--format", "json"],
+            capture_output=True, text=True, env=env, cwd=cwd)
+        assert proc.returncode == 3, proc.stderr
+        diff = json.loads(proc.stdout)
+        assert diff["regressions"]
+        # A against itself passes the same gate.
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.telemetry", "report", "--diff",
+             str(tmp_path / "a"), str(tmp_path / "a"),
+             "--fail-on-regression", "10"],
+            capture_output=True, text=True, env=env, cwd=cwd)
+        assert proc.returncode == 0, proc.stderr
+        assert "no regressions" in proc.stdout
+
 
 # ----------------------------------------------------------------------
 # Worker protocol (in-process simulation of the executor handshake)
