@@ -10,7 +10,12 @@ Measures, for one ≥4-chunk NetShare configuration:
 * **alloc** — the ``repro.nn.pool`` buffer planner: pooled-vs-unpooled
   bitwise parity, pool hit rate over a smoke fit (gate: >= 90%), temp
   arrays per discriminator step with the pool off vs warm (gate: >= 5x
-  reduction), and fit wall clock both ways.
+  reduction), and fit wall clock both ways;
+* **infer** — forward-only tape compilation on the sampling path:
+  eager-vs-compiled bitwise parity (model-level and end-to-end through
+  ``NetShare.generate``), warm ``generate()`` replay speedup (gate:
+  >= 1.3x), and the tape hit rate under a mixed request-size schedule
+  (gate: >= 50% replays against a cold cache).
 
 Everything lands in ``BENCH_runtime.json`` at the repo root, and the
 tests double as the regression gate: chunk weights and generated
@@ -257,6 +262,94 @@ def _tape_section() -> dict:
     }
 
 
+INFER_PROBE_CALLS = 20
+#: Service-style request mix: 4 distinct buckets (8/16/32/64) over 10
+#: calls, within the tape cache's capacity so eviction cannot thrash.
+INFER_MIXED_SIZES = (10, 33, 40, 64, 7, 50, 21, 60, 12, 48)
+
+
+def _infer_section() -> dict:
+    """Measure forward-only tape compilation on the sampling path.
+
+    The same DoppelGANger samples three request sizes (spanning a
+    bucket boundary) eagerly (``REPRO_NN_TAPE=0`` oracle), then taped
+    cold (recording) and warm (replay): every array must match bit for
+    bit.  The warm probe times a bucket-sized ``generate()`` replay
+    against the identical eager call, and the mixed-size probe replays
+    a service-style request schedule against a cold cache to measure
+    how well bucketing collapses request sizes onto warm tapes.
+    """
+    config = DgConfig(metadata_dim=6, measurement_dim=3, max_timesteps=4,
+                      batch_size=32, meta_hidden=32, rnn_hidden=32,
+                      disc_hidden=32)
+    sizes = (5, 64, 9)
+    try:
+        POOL.configure(True)
+        POOL.reset()
+        model = DoppelGANger(config, seed=1)
+
+        def sample_all():
+            return [model.generate(n, seed=i) for i, n in enumerate(sizes)]
+
+        nn_tape.configure(False)
+        eager = sample_all()
+        nn_tape.configure(True)
+        cold = sample_all()   # records one tape per bucket
+        warm = sample_all()   # pure replays
+        parity = all(
+            np.array_equal(got.metadata, want.metadata)
+            and np.array_equal(got.measurements, want.measurements)
+            and np.array_equal(got.gen_flags, want.gen_flags)
+            for run in (cold, warm)
+            for got, want in zip(run, eager)
+        )
+
+        # Warm replay probe on the 64-bucket recorded above.
+        for _ in range(3):
+            model.generate(64, seed=99)
+        start = time.perf_counter()
+        for _ in range(INFER_PROBE_CALLS):
+            model.generate(64, seed=99)
+        taped_ms = (time.perf_counter() - start) / INFER_PROBE_CALLS * 1e3
+
+        nn_tape.configure(False)
+        for _ in range(3):
+            model.generate(64, seed=99)
+        start = time.perf_counter()
+        for _ in range(INFER_PROBE_CALLS):
+            model.generate(64, seed=99)
+        eager_ms = (time.perf_counter() - start) / INFER_PROBE_CALLS * 1e3
+
+        # Mixed request sizes against a cold cache: bucketing should
+        # record once per distinct bucket and replay everything else.
+        nn_tape.configure(True)
+        nn_tape.reset_tape_stats()
+        fresh = DoppelGANger(config, seed=2)
+        for i, n in enumerate(INFER_MIXED_SIZES):
+            fresh.generate(n, seed=i)
+        stats = nn_tape.tape_stats()
+        requests = stats["infer_hits"] + stats["infer_misses"]
+    finally:
+        nn_tape.configure(None)
+        POOL.configure(True)
+        POOL.reset()
+
+    return {
+        "sample_sizes": list(sizes),
+        "bit_identical_with_eager": parity,
+        "warm_sample_ms_eager": round(eager_ms, 3),
+        "warm_sample_ms_taped": round(taped_ms, 3),
+        "warm_sample_speedup": {
+            "value": round(eager_ms / max(taped_ms, 1e-9), 2),
+            "cpus": os.cpu_count() or 1,
+        },
+        "mixed_request_sizes": list(INFER_MIXED_SIZES),
+        "mixed_tapes_recorded": stats["infer_misses"],
+        "mixed_replays": stats["infer_hits"],
+        "infer_hit_rate": round(stats["infer_hits"] / max(requests, 1), 4),
+    }
+
+
 @pytest.fixture(scope="module")
 def bench():
     """Run the whole measurement matrix once; tests assert on it."""
@@ -348,6 +441,17 @@ def bench():
         }
         report["alloc"] = _alloc_section()
         report["tape"] = _tape_section()
+        report["infer"] = _infer_section()
+        # End-to-end oracle: NetShare.generate with tapes forced off
+        # must reproduce the (taped) serial trace byte for byte.
+        nn_tape.configure(False)
+        try:
+            trace_eager = serial.generate(GEN_RECORDS, seed=7,
+                                          jobs=1, backend="serial")
+        finally:
+            nn_tape.configure(None)
+        report["infer"]["netshare_bit_identical_with_eager"] = _trace_equal(
+            traces["serial_jobs1"], trace_eager)
         # -- telemetry: overhead, parity, journal coverage -------------
         # Re-run the multiprocessing fit+generate with a live journal
         # and compare wall clock against the telemetry-off runs above.
@@ -401,6 +505,7 @@ def bench():
         print(json.dumps(report["telemetry"], indent=2))
         print(json.dumps(report["alloc"], indent=2))
         print(json.dumps(report["tape"], indent=2))
+        print(json.dumps(report["infer"], indent=2))
         return {"report": report, "models": models, "traces": traces}
     finally:
         if previous is None:
@@ -450,7 +555,7 @@ class TestRuntimePerf:
     def test_report_written(self, bench):
         data = json.loads(OUTPUT_PATH.read_text())
         assert set(data) >= {"config", "cpus", "fit", "generate", "summary",
-                             "telemetry", "alloc", "tape"}
+                             "telemetry", "alloc", "tape", "infer"}
         assert set(data["fit"]) == set(BACKENDS)
         for entry in data["fit"].values():
             assert entry["dispatch_bytes"] > 0
@@ -520,3 +625,26 @@ class TestRuntimePerf:
         peak bytes strictly below recorded bytes."""
         tape = bench["report"]["tape"]
         assert 0 < tape["peak_bytes_planned"] < tape["peak_bytes_recorded"]
+
+    def test_infer_bit_identical(self, bench):
+        """Acceptance: compiled sampling (record and warm replay) must
+        match the eager oracle bit for bit — both at the model layer
+        and end-to-end through NetShare.generate."""
+        infer = bench["report"]["infer"]
+        assert infer["bit_identical_with_eager"]
+        assert infer["netshare_bit_identical_with_eager"]
+
+    def test_infer_warm_sample_speedup(self, bench):
+        """Acceptance: a warm compiled generate() must beat the eager
+        sampler by >= 1.3x (graph-construction elimination, so no
+        CPU-count skip)."""
+        speedup = bench["report"]["infer"]["warm_sample_speedup"]
+        assert speedup["cpus"] == (os.cpu_count() or 1)
+        assert speedup["value"] >= 1.3
+
+    def test_infer_hit_rate_under_mixed_request_sizes(self, bench):
+        """CI gate: bucketing must collapse a service-style request
+        mix onto a handful of warm tapes (>= 50% replays cold)."""
+        infer = bench["report"]["infer"]
+        assert infer["infer_hit_rate"] >= 0.5
+        assert infer["mixed_tapes_recorded"] <= 4

@@ -1,7 +1,8 @@
 """Rule ``tape-purity``: compiled-step cores must not perform untaped
 side effects.
 
-A function handed to :func:`repro.nn.tape.compiled_step` is recorded
+A function handed to :func:`repro.nn.tape.compiled_step` or
+:func:`repro.nn.tape.compiled_infer` is recorded
 once per shape signature and then *replayed*: only the kernels that
 went through the tape shims (``ka``/``k_gather``/``taped_draw``/the
 ``Tensor`` operators) re-execute on warm steps.  Any other side effect
@@ -13,8 +14,8 @@ replayed step, which is exactly the class of divergence-from-eager bug
 the tape's bitwise-parity contract forbids.
 
 Detection is lexical: the rule collects the function names registered
-via ``compiled_step(<func>, ...)`` in the module and checks those
-bodies.  Helpers called from a core are the core's contract, not
+via ``compiled_step(<func>, ...)`` or ``compiled_infer(<func>, ...)``
+in the module and checks those bodies.  Helpers called from a core are the core's contract, not
 visible here (same convention as ``pool-scope``).  Draws wrapped in a
 ``taped_draw(lambda: ...)`` closure are the sanctioned pattern and are
 exempt.
@@ -46,12 +47,16 @@ _DRAW_METHODS = frozenset({
 _IO_CALLS = frozenset({"open", "print"})
 
 
+#: registration entry points whose first argument is a replayed core.
+_COMPILERS = frozenset({"compiled_step", "compiled_infer"})
+
+
 def _core_names(tree: ast.AST) -> Set[str]:
-    """Function names registered as compiled-step cores in this module."""
+    """Function names registered as compiled cores in this module."""
     names: Set[str] = set()
     for node in ast.walk(tree):
         if isinstance(node, ast.Call) and \
-                call_name(node) == "compiled_step" and node.args:
+                call_name(node) in _COMPILERS and node.args:
             target = terminal_name(node.args[0])
             if target:
                 names.add(target)
@@ -61,9 +66,10 @@ def _core_names(tree: ast.AST) -> Set[str]:
 class TapePurityRule(Rule):
     rule_id = "tape-purity"
     description = (
-        "functions registered via compiled_step() are replayed from a "
-        "recorded tape — raw numpy in-place writes (out=, np.copyto, "
-        "ufunc .at), random draws outside taped_draw(), and I/O in the "
+        "functions registered via compiled_step()/compiled_infer() are "
+        "replayed from a recorded tape — raw numpy in-place writes (out=, "
+        "np.copyto, ufunc .at), random draws outside taped_draw(), and "
+        "I/O in the "
         "core body happen once at record time and never again on warm "
         "steps, breaking eager/taped parity"
     )

@@ -31,7 +31,15 @@ from ..nn import (
     tensor,
 )
 from ..nn.functional import gumbel_softmax
-from ..nn.tape import compiled_step, k_gather, ka as _ka, taped_draw
+from ..nn.tape import (
+    LiveRng,
+    bucket_size,
+    compiled_infer,
+    compiled_step,
+    k_gather,
+    ka as _ka,
+    taped_draw,
+)
 from ..telemetry import emit_event
 from ..telemetry.spans import span
 from ..telemetry.state import STATE as _TELEMETRY
@@ -134,6 +142,10 @@ class RowGan:
         # REPRO_NN_TAPE=0 keeps the eager bodies authoritative.
         self._c_critic = compiled_step(self._critic_core, "rowgan.critic")
         self._c_gen = compiled_step(self._gen_core, "rowgan.gen")
+        # Sampling replays a forward-only tape per bucketed batch size;
+        # the LiveRng proxy feeds per-call seeds into replayed draws.
+        self._infer_rng = LiveRng(rng)
+        self._c_infer = compiled_infer(self._infer_core, "rowgan.infer")
 
     # ------------------------------------------------------------------
     def _named_modules(self):
@@ -268,14 +280,37 @@ class RowGan:
         self.train_seconds += _time.perf_counter() - start
         return self
 
+    def _infer_core(self, n: int, conditions: Optional[np.ndarray] = None):
+        """No-grad generator forward for one bucketed batch.  The
+        condition block arrives as a *bound* input buffer, refreshed
+        by ``CompiledInfer`` on every replay."""
+        rng = self._infer_rng
+        z = tensor(taped_draw(lambda: rng.normal(
+            size=(n, self.config.noise_dim))))
+        cond = tensor(conditions) if conditions is not None else None
+        return self.generator(z, rng, cond)
+
     def generate(self, n: int, seed: Optional[int] = None,
                  conditions: Optional[np.ndarray] = None) -> np.ndarray:
+        """Sample ``n`` rows.  Requests are padded up to
+        :func:`~repro.nn.tape.bucket_size` (condition rows zero-padded
+        alongside) and sliced back, so mixed request sizes replay warm
+        tapes; the eager oracle pads identically, keeping
+        ``REPRO_NN_TAPE=0`` bit-identical.
+        """
+        if n < 1:
+            raise ValueError("must generate at least one row")
         rng = np.random.default_rng(seed) if seed is not None else self._rng
-        with no_grad():
-            z = tensor(rng.normal(size=(n, self.config.noise_dim)))
-            cond = tensor(conditions) if conditions is not None else None
-            rows = self.generator(z, rng, cond)
-        return rows.data
+        n_pad = bucket_size(n)
+        self._infer_rng.rng = rng
+        if conditions is not None:
+            conditions = np.asarray(conditions, dtype=np.float64)
+            padded = np.zeros((n_pad, conditions.shape[1]))
+            padded[:n] = conditions[:n]
+            rows = self._c_infer.run(("cond", n_pad), n_pad, padded)
+        else:
+            rows = self._c_infer.run(("plain", n_pad), n_pad)
+        return rows[:n]
 
     def split_columns(self, rows: np.ndarray) -> dict:
         """Slice generated rows back into named column blocks."""

@@ -26,8 +26,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..datasets.records import FlowTrace
-from ..nn import Adam, Dense, Sequential, cross_entropy, grad, no_grad, tensor
-from ..nn.tape import compiled_step, k_gather, taped_draw
+from ..nn import Adam, Dense, Sequential, cross_entropy, grad, tensor
+from ..nn.tape import compiled_infer, compiled_step, k_gather, taped_draw
 from ..telemetry import emit_event
 from ..telemetry.spans import span as _span
 from ..telemetry.state import STATE as _TELEMETRY
@@ -78,6 +78,7 @@ class Stan(Synthesizer):
         self.hidden = hidden
         self.seed = seed
         self._nets: Dict[str, Sequential] = {}
+        self._infer: Dict[str, object] = {}
         self._quantizers: Dict[str, _FieldQuantizer] = {}
         self._fitted = False
 
@@ -163,6 +164,7 @@ class Stan(Synthesizer):
         }
 
         self._nets = {}
+        self._infer = {}  # stale infer tapes would capture replaced nets
         with _span("stan.fit", epochs=self.epochs, records=len(trace)):
             emit_event("fit_start", model="stan", epochs=self.epochs,
                        records=len(trace), fields=list(self._FIELDS))
@@ -203,10 +205,19 @@ class Stan(Synthesizer):
         return self
 
     # ------------------------------------------------------------------
-    def _sample_field(self, net, features: np.ndarray,
+    def _sample_field(self, name: str, features: np.ndarray,
                       rng: np.random.Generator) -> int:
-        with no_grad():
-            logits = net(tensor(features[None, :])).data[0]
+        # The per-field forward replays a compiled no-grad tape; the
+        # autoregressive state enters as a bound input (refreshed by
+        # np.copyto on every replay).  The input shape is fixed at
+        # (1, n_features), so each field records exactly one tape.
+        step = self._infer.get(name)
+        if step is None:
+            net = self._nets[name]
+            step = compiled_infer(lambda feats, net=net: net(tensor(feats)),
+                                  f"stan.{name}")
+            self._infer[name] = step
+        logits = step.run(("f",), features[None, :])[0]
         logits = logits - logits.max()
         probs = np.exp(logits)
         probs /= probs.sum()
@@ -232,7 +243,7 @@ class Stan(Synthesizer):
             protocols = self._host_protocols[int(host)]
             for _ in range(chain_len):
                 bins = {
-                    name: self._sample_field(self._nets[name], state, rng)
+                    name: self._sample_field(name, state, rng)
                     for name in self._FIELDS
                 }
                 gap = float(self._quantizers["gap"].decode(

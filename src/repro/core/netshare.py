@@ -32,6 +32,7 @@ import numpy as np
 from ..datasets.records import FlowTrace, PacketTrace
 from ..datasets.profiles import load_dataset
 from ..gan.doppelganger import DgConfig, DoppelGANger, TrainingLog
+from ..nn.tape import bucket_size
 from ..privacy.accountant import RdpAccountant
 from ..privacy.dpsgd import DpSgdConfig
 from ..runtime import get_executor
@@ -505,11 +506,17 @@ class NetShare:
                 model_states = {i: freeze_state(s, arena)
                                 for i, s in model_states.items()}
             for round_index in range(8):
+                round_start = time.perf_counter()
                 tasks = []
                 for chunk in self._chunks:
                     share = chunk.n_records / total_records
-                    n_flows = max(1, int(np.ceil(
-                        shortfall * share / rpf_estimate[chunk.index] * 1.1)))
+                    # Bucketed task sizes: bucket values are fixed
+                    # points of the sampler's own padding, so every
+                    # round and chunk with a similar shortfall hits
+                    # the same warm inference tape in its worker
+                    # instead of recording a new one.
+                    n_flows = bucket_size(max(1, int(np.ceil(
+                        shortfall * share / rpf_estimate[chunk.index] * 1.1))))
                     sample_seed, decode_seed = self._generate_seeds(
                         base_seed, round_index, chunk.index)
                     tasks.append(GenerateTask(
@@ -535,11 +542,16 @@ class NetShare:
                     rpf_estimate[piece.chunk_index] = max(
                         len(piece.trace) / piece.n_flows, 1.0)
                 shortfall = n_records - produced
+                round_seconds = time.perf_counter() - round_start
                 rounds_log.append({
                     "round": round_index, "tasks": len(tasks),
                     "accepted": accepted,
                     "rejected": len(tasks) - accepted,
                     "records": round_records, "shortfall": max(shortfall, 0),
+                    "seconds": round(round_seconds, 6),
+                    "samples_per_sec": round(
+                        round_records / round_seconds, 2)
+                    if round_seconds > 0 else 0.0,
                 })
                 emit_event("generate_round", **rounds_log[-1])
                 if shortfall <= 0:

@@ -47,7 +47,15 @@ from ..nn import (
     stack,
     tensor,
 )
-from ..nn.tape import compiled_step, k_gather, ka as _ka, taped_draw
+from ..nn.tape import (
+    LiveRng,
+    bucket_size,
+    compiled_infer,
+    compiled_step,
+    k_gather,
+    ka as _ka,
+    taped_draw,
+)
 from ..privacy.dpsgd import DpSgdConfig, privatize_gradients
 
 __all__ = ["DgConfig", "DoppelGANger", "TrainingLog"]
@@ -268,6 +276,11 @@ class DoppelGANger:
         self._c_disc = compiled_step(self._disc_core, "dg.disc")
         self._c_gen = compiled_step(self._gen_core, "dg.gen")
         self._c_dp_disc = compiled_step(self._dp_disc_core, "dg.dp_disc")
+        # Generation runs as a forward-only tape per bucketed batch
+        # size; the LiveRng proxy lets per-call seeds feed replayed
+        # draws (the tape captured the proxy, not the generator).
+        self._infer_rng = LiveRng(rng)
+        self._c_infer = compiled_infer(self._infer_core, "dg.infer")
 
     # ------------------------------------------------------------------
     def num_parameters(self) -> int:
@@ -538,26 +551,50 @@ class DoppelGANger:
         return losses
 
     # ------------------------------------------------------------------
+    def _infer_core(self, n: int):
+        """One no-grad sampler forward at batch size ``n`` (a bucket
+        value).  Runs under ``compiled_infer``: recorded once per
+        bucket, replayed warm with the draws re-drawn through the
+        LiveRng proxy in recorded stream order."""
+        rng = self._infer_rng
+        z_meta = taped_draw(lambda: rng.normal(
+            size=(n, self.config.noise_dim)))
+        z_meas = taped_draw(lambda: rng.normal(
+            size=(n, self.config.max_timesteps, self.config.noise_dim)))
+        metadata = self.gen_meta(tensor(z_meta), rng, hard=False)
+        measurements, flags = self.gen_meas(metadata, z_meas)
+        return [metadata, measurements, flags]
+
     def generate(self, n: int, seed: Optional[int] = None) -> EncodedFlows:
         """Sample n synthetic flows (tensor form; decode with the
-        FlowTensorEncoder)."""
+        FlowTensorEncoder).
+
+        The request is padded up to :func:`~repro.nn.tape.bucket_size`
+        and sliced back, so service-style calls of varying size replay
+        a handful of warm tapes instead of recording per size.  The
+        padding is part of the sampler's semantics — the eager oracle
+        (``REPRO_NN_TAPE=0``) pads identically, so eager and compiled
+        sampling stay bit-identical for every ``n``.
+        """
         if n < 1:
             raise ValueError("must generate at least one flow")
         rng = np.random.default_rng(seed) if seed is not None else self._rng
-        with no_grad():
-            z_meta = rng.normal(size=(n, self.config.noise_dim))
-            z_meas = rng.normal(
-                size=(n, self.config.max_timesteps, self.config.noise_dim))
-            metadata = self.gen_meta(tensor(z_meta), rng, hard=False).data
-            measurements, flags = self.gen_meas(tensor(metadata), z_meas)
-            measurements, flags = measurements.data, flags.data
+        n_pad = bucket_size(n)
+        self._infer_rng.rng = rng
+        metadata, measurements, flags = self._c_infer.run((n_pad,), n_pad)
+        metadata = metadata[:n]
+        measurements = measurements[:n]
+        flags = flags[:n]
         # Generation flags: active prefix up to the first sub-0.5 flag;
-        # every flow emits at least one record.
-        hard_flags = np.zeros_like(flags)
-        for i in range(n):
-            active = flags[i] > 0.5
-            stop = len(active) if active.all() else int(np.argmin(active))
-            hard_flags[i, :max(stop, 1)] = 1.0
+        # every flow emits at least one record.  argmin finds the first
+        # False per row (bitwise-identical to the per-flow loop it
+        # replaced); all-active rows keep the full horizon.
+        active = flags > 0.5
+        stop = np.where(active.all(axis=1), active.shape[1],
+                        np.argmin(active, axis=1))
+        stop = np.maximum(stop, 1)
+        hard_flags = (np.arange(active.shape[1])[None, :]
+                      < stop[:, None]).astype(flags.dtype)
         return EncodedFlows(metadata, measurements, hard_flags)
 
     def _validate_data(self, data: EncodedFlows) -> None:

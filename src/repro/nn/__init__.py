@@ -42,8 +42,12 @@ from .layers import (
 from .optim import SGD, Adam, Optimizer, clip_global_norm
 from .pool import BufferPool, POOL, POOL_ENV_VAR, pool_active
 from .tape import (
+    CompiledInfer,
     CompiledStep,
+    LiveRng,
     TAPE_ENV_VAR,
+    bucket_size,
+    compiled_infer,
     compiled_step,
     invalidate_tapes,
     tape_enabled,
@@ -63,4 +67,5 @@ __all__ = [
     "BufferPool", "POOL", "POOL_ENV_VAR", "pool_active",
     "CompiledStep", "compiled_step", "TAPE_ENV_VAR", "tape_enabled",
     "tape_stats", "invalidate_tapes",
+    "CompiledInfer", "compiled_infer", "LiveRng", "bucket_size",
 ]

@@ -100,6 +100,7 @@ class BufferPool:
     """
 
     __slots__ = ("enabled", "active", "hits", "misses",
+                 "reserve_hits", "reserve_misses",
                  "_depth", "_free", "_scope_misses",
                  "_published_hits", "_published_misses")
 
@@ -108,6 +109,8 @@ class BufferPool:
         self.active = False
         self.hits = 0        # requests served from a free list (reuse)
         self.misses = 0      # requests that had to allocate (warmup)
+        self.reserve_hits = 0    # tape-arena reservations from free lists
+        self.reserve_misses = 0  # tape-arena reservations that allocated
         self._depth = 0
         # shape -> [cursor, buffers].  `cursor` counts how many of the
         # shape's buffers the current step has handed out; recycling is
@@ -172,6 +175,48 @@ class BufferPool:
         return buf
 
     # ------------------------------------------------------------------
+    # permanent withdrawal / donation (the tape arena)
+    # ------------------------------------------------------------------
+    def reserve(self, shape: Tuple[int, ...]) -> np.ndarray:
+        """Permanently withdraw one float64 buffer of ``shape``.
+
+        The tape recorder backs its arena with this: a process whose
+        free lists are already warm (eager steps ran, or an earlier
+        tape donated its planner surplus) records straight onto pooled
+        storage, so even the *first* warm replay touches no allocator.
+        The buffer is popped off the free list's tail — tail indices
+        are at or past the scope cursor, so nothing handed out by an
+        open ``step_scope`` can be taken — and never returns through
+        ``_recycle`` (tape storage must not alias future scratch).
+        """
+        entry = self._free.get(shape)
+        if entry is not None and entry[0] < len(entry[1]):
+            self.reserve_hits += 1
+            return entry[1].pop()
+        self.reserve_misses += 1
+        return np.empty(shape)
+
+    def release(self, buf: np.ndarray) -> None:
+        """Donate a buffer to the free lists (planner surplus).
+
+        The liveness pass colors several recorded intermediates onto
+        one physical buffer; the storage it remaps *away from* is
+        referenced by nothing once the tape is built.  Handing it back
+        lets the next step — or the next tape's ``reserve`` — reuse it.
+        Only plain float64 base arrays are accepted; anything else
+        (bool masks, views, int index buffers) is simply dropped.
+        """
+        if (not self.enabled or buf.dtype != np.float64
+                or buf.base is not None
+                or not buf.flags["C_CONTIGUOUS"]):
+            return
+        entry = self._free.get(buf.shape)
+        if entry is None:
+            self._free[buf.shape] = [0, [buf]]
+        else:
+            entry[1].append(buf)
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     @contextlib.contextmanager
@@ -226,6 +271,8 @@ class BufferPool:
         self._free.clear()
         self.hits = 0
         self.misses = 0
+        self.reserve_hits = 0
+        self.reserve_misses = 0
         self._scope_misses = 0
         self._published_hits = 0
         self._published_misses = 0
@@ -238,6 +285,8 @@ class BufferPool:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hits / requests if requests else 0.0,
+            "reserve_hits": self.reserve_hits,
+            "reserve_misses": self.reserve_misses,
             "free_buffers": sum(len(e[1]) - e[0]
                                 for e in self._free.values()),
             "free_shapes": len(self._free),

@@ -68,6 +68,10 @@ __all__ = [
     "Tape",
     "CompiledStep",
     "compiled_step",
+    "CompiledInfer",
+    "compiled_infer",
+    "LiveRng",
+    "bucket_size",
     "configure",
     "tape_enabled",
     "invalidate_tapes",
@@ -114,9 +118,11 @@ def invalidate_tapes() -> None:
     _GENERATION += 1
 
 
-# Aggregate counters for the bench / telemetry.
-_STATS = {"hits": 0, "misses": 0, "fused_ops": 0,
-          "bytes_recorded": 0, "bytes_planned": 0}
+# Aggregate counters for the bench / telemetry.  Training-step replays
+# count as hits/misses; forward-only inference tapes keep their own
+# pair so the bench's mixed-request-size gate sees only the sampler.
+_STATS = {"hits": 0, "misses": 0, "infer_hits": 0, "infer_misses": 0,
+          "fused_ops": 0, "bytes_recorded": 0, "bytes_planned": 0}
 
 
 def tape_stats() -> Dict[str, int]:
@@ -183,8 +189,11 @@ class Recorder:
     def take(self, shape: Tuple[int, ...]) -> np.ndarray:
         """Pool requests while recording come from tape-owned storage,
         never the global free lists — a tape must not alias buffers an
-        enclosing ``step_scope`` may hand to someone else."""
-        buf = np.empty(shape)
+        enclosing ``step_scope`` may hand to someone else.  The arena
+        is *reserved* out of the pool (permanently withdrawn), so a
+        warm process records onto already-allocated storage and the
+        first replay touches zero allocator calls."""
+        buf = _POOL.reserve(shape)
         self.owned[id(buf)] = buf
         self._buffers.append(buf)
         return buf
@@ -322,7 +331,8 @@ def _entry_refs(entry: Tuple):
 
 
 def _plan_buffers(entries: List[Tuple], owned: Dict[int, np.ndarray],
-                  outputs: List[np.ndarray]) -> Tuple[List[Tuple], int, int]:
+                  outputs: List[np.ndarray]
+                  ) -> Tuple[List[Tuple], int, int, List[np.ndarray]]:
     """Color tape-owned intermediates onto shared physical buffers.
 
     A buffer's live interval runs from its defining entry to its last
@@ -404,7 +414,12 @@ def _plan_buffers(entries: List[Tuple], owned: Dict[int, np.ndarray],
                 remapped.append(tuple(_map_arrays(part, mapping)
                                       for part in entry))
         entries = remapped
-    return entries, bytes_recorded, bytes_planned
+    # Storage the coloring remapped *away from* is unreferenced once
+    # the entries above are rebuilt — surface it so the compiled
+    # wrappers can donate it back to the buffer pool.
+    surplus = [owned[bid] for bid, phys in mapping.items()
+               if phys is not owned[bid]]
+    return entries, bytes_recorded, bytes_planned, surplus
 
 
 def _make_closure(entry: Tuple) -> Callable[[], Any]:
@@ -513,11 +528,12 @@ class Tape:
     """A finalized, replayable step: closures plus output buffers."""
 
     __slots__ = ("ops", "outs", "scalar", "generation", "fused_ops",
-                 "bytes_recorded", "bytes_planned", "_keepalive")
+                 "bytes_recorded", "bytes_planned", "surplus", "_keepalive")
 
     def __init__(self, entries: List[Tuple], owned: Dict[int, np.ndarray],
                  outs: List[np.ndarray], scalar: bool):
-        entries, rec_bytes, plan_bytes = _plan_buffers(entries, owned, outs)
+        entries, rec_bytes, plan_bytes, surplus = _plan_buffers(
+            entries, owned, outs)
         closures = [_make_closure(e) for e in entries]
         self.ops, self.fused_ops = _fuse(entries, closures)
         self.outs = outs
@@ -525,6 +541,7 @@ class Tape:
         self.generation = _GENERATION
         self.bytes_recorded = rec_bytes
         self.bytes_planned = plan_bytes
+        self.surplus = surplus
         self._keepalive = entries  # pins captured operand arrays
 
     def replay(self) -> None:
@@ -547,6 +564,20 @@ class Tape:
 #: Per-CompiledStep tape cache bound (LRU): chunked fine-tuning swaps
 #: data arrays, and each distinct array identity records a fresh tape.
 _MAX_TAPES = 4
+
+
+def _donate_surplus(tape: Tape) -> None:
+    """Hand the planner's remapped-away storage back to the pool.
+
+    Only the compiled wrappers call this: their cores' intermediates
+    are provably unreferenced after recording (the body returned, its
+    locals died).  Hand-built ``Tape`` objects (tests, tooling) may
+    still hold the recorded arrays in caller locals, so they keep
+    their surplus.
+    """
+    for buf in tape.surplus:
+        _POOL.release(buf)
+    tape.surplus = []
 
 
 class CompiledStep:
@@ -608,6 +639,7 @@ class CompiledStep:
         finally:
             entries = RECORDER.end()
         tape = Tape(entries, RECORDER.owned, outs, scalar)
+        _donate_surplus(tape)
         if len(self._tapes) >= _MAX_TAPES:
             self._tapes.pop(next(iter(self._tapes)))
         self._tapes[key] = tape
@@ -628,6 +660,159 @@ def compiled_step(fn: Callable, label: str = "step",
     """Convenience constructor mirroring ``step_scope()`` at the call
     sites: ``self._c_disc = compiled_step(self._disc_core, "dg.disc")``."""
     return CompiledStep(fn, label=label, extract=extract)
+
+
+# ----------------------------------------------------------------------
+# Forward-only (no-grad) compilation: the generation path
+# ----------------------------------------------------------------------
+class LiveRng:
+    """Swappable generator proxy for compiled inference.
+
+    RNG entries on a tape capture the *object* their draw closure
+    read from, so a sampler that accepts a per-call seed cannot hand
+    its ``np.random.Generator`` to ``taped_draw`` directly — replays
+    would consume a stale stream.  The sampler records against one
+    persistent proxy instead and repoints ``.rng`` before every run;
+    replayed draws then always hit the caller's live generator.
+    """
+
+    __slots__ = ("rng",)
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self.rng = rng
+
+    def normal(self, *args, **kw):
+        return self.rng.normal(*args, **kw)
+
+    def uniform(self, *args, **kw):
+        return self.rng.uniform(*args, **kw)
+
+    def integers(self, *args, **kw):
+        return self.rng.integers(*args, **kw)
+
+    def choice(self, *args, **kw):
+        return self.rng.choice(*args, **kw)
+
+
+#: Below this, batch sizes round up to the next power of two; above,
+#: to the next multiple of it.  Keeps padding waste bounded (< 2x for
+#: small requests, < _BUCKET_LINEAR extra rows for large ones) while
+#: collapsing service-style request sizes onto a handful of tapes.
+_BUCKET_POW2_MAX = 256
+_BUCKET_LINEAR = 256
+
+
+def bucket_size(n: int) -> int:
+    """Round a requested sample count up to the bucket grid.
+
+    Compiled inference records one tape per batch shape; without
+    bucketing, every distinct request size would record (and evict)
+    fresh tapes.  Bucket values are fixed points (``bucket_size(
+    bucket_size(n)) == bucket_size(n)``), so pre-bucketed task sizes
+    pass through unchanged.
+    """
+    if n < 1:
+        raise ValueError("batch size must be positive")
+    if n <= _BUCKET_POW2_MAX:
+        return 1 << (n - 1).bit_length()
+    return -(-n // _BUCKET_LINEAR) * _BUCKET_LINEAR
+
+
+class CompiledInfer:
+    """Compile a forward-only sampler body into replayable tapes.
+
+    ``fn(*args)`` must run a no-grad forward — the wrapper opens both
+    ``no_grad()`` and the pool's ``step_scope()`` — routing every
+    random draw through :func:`taped_draw` (via a :class:`LiveRng`
+    when the generator varies per call) and returning the output
+    ``Tensor``/array (or a list of them).  ``run(key, *args)`` returns
+    detached array copies.
+
+    Unlike a training step, a sampler has *data-dependent inputs*
+    (condition rows, autoregressive state).  Any ``np.ndarray`` in
+    ``args`` is therefore **bound**: at record time it is copied into
+    a stable input buffer created *before* the recording opens (so the
+    planner never remaps it), and every replay refreshes that buffer
+    with ``np.copyto`` before running the schedule.  Non-array args
+    are baked into the recorded kernels — encode them in ``key``.
+
+    Eager fallback rules match :class:`CompiledStep`; with tapes off
+    the body runs eagerly under the same no-grad pooled scope, which
+    keeps ``REPRO_NN_TAPE=0`` as the bitwise parity oracle.
+    """
+
+    __slots__ = ("fn", "label", "_tapes")
+
+    def __init__(self, fn: Callable, label: str = "infer"):
+        self.fn = fn
+        self.label = label
+        self._tapes: Dict[Tuple, Tuple[Tape, List[Optional[np.ndarray]]]] = {}
+
+    def _finish(self, result):
+        scalar = not isinstance(result, (list, tuple))
+        tensors = [result] if scalar else list(result)
+        outs = [t.data if hasattr(t, "data") else np.asarray(t)
+                for t in tensors]
+        return outs, scalar
+
+    def _eager(self, args):
+        from .autograd import no_grad
+        with no_grad(), _POOL.step_scope():
+            outs, scalar = self._finish(self.fn(*args))
+            arrays = [o.copy() for o in outs]
+            return arrays[0] if scalar else arrays
+
+    def run(self, key: Tuple, *args):
+        if not tape_enabled() or not _POOL.enabled or RECORDER.active:
+            return self._eager(args)
+        cached = self._tapes.get(key)
+        if cached is not None and cached[0].generation == _GENERATION:
+            tape, binds = cached
+            for buf, arg in zip(binds, args):
+                if buf is not None:
+                    np.copyto(buf, arg, casting="unsafe")
+            tape.replay()
+            _STATS["infer_hits"] += 1
+            if _TELEMETRY.enabled:
+                _TELEMETRY.registry.counter("nn.tape.infer.hits").inc()
+            return tape.result_arrays()
+        binds: List[Optional[np.ndarray]] = []
+        bound: List[Any] = []
+        for arg in args:
+            if isinstance(arg, np.ndarray):
+                buf = arg.copy()
+                binds.append(buf)
+                bound.append(buf)
+            else:
+                binds.append(None)
+                bound.append(arg)
+        from .autograd import no_grad
+        RECORDER.begin()
+        try:
+            with no_grad(), _POOL.step_scope():
+                outs, scalar = self._finish(self.fn(*bound))
+        finally:
+            entries = RECORDER.end()
+        tape = Tape(entries, RECORDER.owned, outs, scalar)
+        _donate_surplus(tape)
+        if len(self._tapes) >= _MAX_TAPES:
+            self._tapes.pop(next(iter(self._tapes)))
+        self._tapes[key] = (tape, binds)
+        _STATS["infer_misses"] += 1
+        _STATS["fused_ops"] += tape.fused_ops
+        _STATS["bytes_recorded"] += tape.bytes_recorded
+        _STATS["bytes_planned"] += tape.bytes_planned
+        if _TELEMETRY.enabled:
+            registry = _TELEMETRY.registry
+            registry.counter("nn.tape.infer.misses").inc()
+            registry.counter("nn.tape.fused_ops").inc(tape.fused_ops)
+        return tape.result_arrays()
+
+
+def compiled_infer(fn: Callable, label: str = "infer") -> CompiledInfer:
+    """Convenience constructor mirroring :func:`compiled_step`:
+    ``self._c_infer = compiled_infer(self._infer_core, "dg.infer")``."""
+    return CompiledInfer(fn, label=label)
 
 
 @contextlib.contextmanager

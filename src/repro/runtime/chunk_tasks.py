@@ -247,6 +247,13 @@ class GenerateTask:
     orchestrator from ``(generate seed, retry round, chunk index)`` so
     every backend — and every retry round — produces bit-identical,
     non-repeating output.
+
+    ``n_flows`` arrives pre-bucketed (:func:`repro.nn.tape.
+    bucket_size` in ``NetShare.generate``): together with the
+    content-hash model cache below — which keeps thawed models, and
+    therefore their recorded inference tapes, alive across tasks in a
+    worker — every task of a similar size replays the same warm
+    forward-only tape instead of recording per request.
     """
 
     chunk_index: int

@@ -90,7 +90,7 @@ def summarize(meta: Dict[str, Any], events: List[Dict[str, Any]],
             "rounds": [
                 {k: e.get(k) for k in
                  ("round", "tasks", "accepted", "rejected", "records",
-                  "shortfall")}
+                  "shortfall", "seconds", "samples_per_sec")}
                 for e in rounds
             ],
             "totals": [
@@ -208,11 +208,14 @@ def render_text(summary: Dict[str, Any]) -> str:
     if gen:
         lines.append("generate:")
         for rnd in gen["rounds"]:
+            rate = rnd.get("samples_per_sec")
             lines.append(
                 f"  round {rnd.get('round')}: accepted "
                 f"{rnd.get('accepted')}/{rnd.get('tasks')} chunks, "
                 f"+{rnd.get('records')} records "
-                f"(shortfall {rnd.get('shortfall')})")
+                f"(shortfall {rnd.get('shortfall')})"
+                + (f" @ {rate:g} rec/s" if isinstance(rate, (int, float))
+                   and rate else ""))
         for total in gen["totals"]:
             lines.append(
                 f"  total: wall={_fmt_seconds(total.get('wall_seconds'))} "
@@ -329,6 +332,26 @@ def _cache_rates(summary: Dict[str, Any]) -> Dict[str, float]:
     return rates
 
 
+def _infer_throughput(summary: Dict[str, Any]) -> Optional[float]:
+    """Aggregate generation throughput (records/s) across rounds.
+
+    Uses the per-round ``seconds``/``records`` pair so the figure is a
+    time-weighted mean rather than an average of per-round rates.
+    """
+    gen = summary.get("generate")
+    if not gen:
+        return None
+    records = seconds = 0.0
+    for rnd in gen.get("rounds", ()):
+        sec = rnd.get("seconds")
+        if isinstance(sec, (int, float)) and sec > 0:
+            seconds += float(sec)
+            records += float(rnd.get("records") or 0)
+    if seconds <= 0 or records <= 0:
+        return None
+    return records / seconds
+
+
 def _accept_reject(summary: Dict[str, Any]) -> Optional[Tuple[int, int]]:
     gen = summary.get("generate")
     if not gen:
@@ -355,12 +378,15 @@ def diff_summaries(a: Dict[str, Any], b: Dict[str, Any],
                    ) -> Dict[str, Any]:
     """Compare two run summaries (A = baseline, B = candidate).
 
-    Covers the four ledgers the bench and CI care about: epoch/chunk
+    Covers the ledgers the bench and CI care about: epoch/chunk
     train timings, cache hit-rate counters (``*.hits``/``*.misses``
-    pairs), generate-round accept/reject tallies, and the DP ε
+    pairs, including the ``nn.tape.infer.*`` tape-cache pair),
+    generation throughput (records/s from round timings),
+    generate-round accept/reject tallies, and the DP ε
     trajectory.  A *regression* is B being worse than A beyond the
     ``fail_on_regression`` percentage threshold: slower training, a
-    lower cache hit rate, a higher rejection share, or more ε spent.
+    lower cache hit rate, lower generation throughput, a higher
+    rejection share, or more ε spent.
     """
     diff: Dict[str, Any] = {
         "runs": {
@@ -403,6 +429,15 @@ def diff_summaries(a: Dict[str, Any], b: Dict[str, Any],
         caches[name] = entry
     if caches:
         diff["cache_hit_rates"] = caches
+
+    # -- generation throughput -----------------------------------------
+    sa, sb = _infer_throughput(a), _infer_throughput(b)
+    if sa is not None or sb is not None:
+        change = _pct_change(sa, sb)
+        diff["samples_per_sec"] = {"a": sa, "b": sb, "change_pct": change}
+        if sa is not None and sb is not None and change is not None:
+            # Throughput regresses downward: flag when B is slower.
+            flag("samples_per_sec", sa, sb, -change)
 
     # -- generate accept/reject ----------------------------------------
     ga, gb = _accept_reject(a), _accept_reject(b)
@@ -455,6 +490,14 @@ def render_diff_text(diff: Dict[str, Any]) -> str:
             pp = entry.get("change_pp")
             pp_txt = f" ({pp:+.1f}pp)" if pp is not None else ""
             lines.append(f"    {name}: {a_txt} -> {b_txt}{pp_txt}")
+
+    rate = diff.get("samples_per_sec")
+    if rate:
+        def fmt_rate(value):
+            return f"{value:.1f} rec/s" if value is not None else "-"
+        lines.append(
+            f"  generate throughput: {fmt_rate(rate['a'])} -> "
+            f"{fmt_rate(rate['b'])} ({fmt_pct(rate.get('change_pct'))})")
 
     acc = diff.get("accept_reject")
     if acc:
