@@ -350,6 +350,105 @@ def _infer_section() -> dict:
     }
 
 
+TAPE_CHECK_PROBE_STEPS = 40
+
+
+def _tape_check_section() -> dict:
+    """Measure the tape verifier + sanitizer added in PR 8.
+
+    Three numbers: (1) the ``--check-tapes`` smoke matrix (every
+    compiled family's tapes statically verified, plus the registry
+    drift guard) must come back with zero findings; (2) the cost of
+    record-time verification, measured directly on a real training
+    tape (verification runs once per recording, never on replay);
+    (3) warm-replay wall clock with the sanitizer machinery present
+    but **off** versus the plain replay path — the gate asserts the
+    sanitized-replay plumbing costs nothing when disabled — with the
+    sanitizer-on overhead recorded for interpretability.
+    """
+    from repro.analysis.registry_sync import check_registry_sync
+    from repro.analysis.tape_check import verify_tape
+    from repro.analysis.tape_smoke import run_tape_checks
+    from repro.nn import Dense, SGD, grad, tensor
+    from repro.nn.pool import configure_sanitize
+    from repro.nn.tape import collect_tapes, compiled_step, k_gather, \
+        taped_draw
+
+    smoke = run_tape_checks()
+    sync = check_registry_sync()
+
+    try:
+        POOL.configure(True)
+        POOL.reset()
+        nn_tape.configure(True)
+        rng = np.random.default_rng(0)
+        data = rng.uniform(size=(256, 24))
+        target = rng.uniform(size=(256, 8))
+        net = Dense(24, 8, "tanh", rng=np.random.default_rng(1))
+        opt = SGD(net.parameters(), lr=0.05)
+        draw = np.random.default_rng(2)
+
+        def core(b):
+            idx = taped_draw(lambda: draw.integers(0, len(data), size=b))
+            x = tensor(k_gather(data, idx))
+            y = tensor(k_gather(target, idx))
+            loss = (net(x) - y).square().mean()
+            opt.step(grad(loss, net.parameters()))
+            return loss
+
+        step = compiled_step(core, "bench.tape_check")
+        with collect_tapes() as tapes:
+            step.run((32,), 32)
+        tape = tapes[0]
+
+        # Record-time verification cost: the verifier runs once per
+        # recording, so per-tape milliseconds is the whole story.
+        start = time.perf_counter()
+        for _ in range(10):
+            findings = verify_tape(tape)
+        verify_ms = (time.perf_counter() - start) / 10 * 1e3
+        assert findings == []
+
+        def probe_ms():
+            for _ in range(5):
+                step.run((32,), 32)
+            start = time.perf_counter()
+            for _ in range(TAPE_CHECK_PROBE_STEPS):
+                step.run((32,), 32)
+            return ((time.perf_counter() - start)
+                    / TAPE_CHECK_PROBE_STEPS * 1e3)
+
+        plain_ms = probe_ms()              # before this PR's plumbing
+        configure_sanitize(False)
+        off_ms = probe_ms()                # sanitizer present, off
+        configure_sanitize(True)
+        sanitized_ms = probe_ms()          # poison-and-trap replay
+    finally:
+        configure_sanitize(None)
+        nn_tape.configure(None)
+        POOL.configure(True)
+        POOL.reset()
+
+    return {
+        "tapes_verified": smoke["tapes_verified"],
+        "findings": smoke["findings"],
+        "families": [f["family"] for f in smoke["families"]],
+        "registry_issues": len(sync["issues"]),
+        "kernels_launched": len(sync["kernels_launched"]),
+        "kernels_declared": len(sync["kernels_declared"]),
+        "verify_ms_per_tape": round(verify_ms, 3),
+        "verified_tape_ops": len(tape.plan.post_entries),
+        "warm_step_ms_plain": round(plain_ms, 3),
+        "warm_step_ms_sanitize_off": round(off_ms, 3),
+        "warm_step_ms_sanitized": round(sanitized_ms, 3),
+        "sanitize_off_overhead": {
+            "value": round(off_ms / max(plain_ms, 1e-9), 3),
+            "cpus": os.cpu_count() or 1,
+        },
+        "sanitizer_overhead": round(sanitized_ms / max(off_ms, 1e-9), 2),
+    }
+
+
 @pytest.fixture(scope="module")
 def bench():
     """Run the whole measurement matrix once; tests assert on it."""
@@ -441,6 +540,7 @@ def bench():
         }
         report["alloc"] = _alloc_section()
         report["tape"] = _tape_section()
+        report["tape_check"] = _tape_check_section()
         report["infer"] = _infer_section()
         # End-to-end oracle: NetShare.generate with tapes forced off
         # must reproduce the (taped) serial trace byte for byte.
@@ -505,6 +605,7 @@ def bench():
         print(json.dumps(report["telemetry"], indent=2))
         print(json.dumps(report["alloc"], indent=2))
         print(json.dumps(report["tape"], indent=2))
+        print(json.dumps(report["tape_check"], indent=2))
         print(json.dumps(report["infer"], indent=2))
         return {"report": report, "models": models, "traces": traces}
     finally:
@@ -555,7 +656,8 @@ class TestRuntimePerf:
     def test_report_written(self, bench):
         data = json.loads(OUTPUT_PATH.read_text())
         assert set(data) >= {"config", "cpus", "fit", "generate", "summary",
-                             "telemetry", "alloc", "tape", "infer"}
+                             "telemetry", "alloc", "tape", "tape_check",
+                             "infer"}
         assert set(data["fit"]) == set(BACKENDS)
         for entry in data["fit"].values():
             assert entry["dispatch_bytes"] > 0
@@ -648,3 +750,36 @@ class TestRuntimePerf:
         infer = bench["report"]["infer"]
         assert infer["infer_hit_rate"] >= 0.5
         assert infer["mixed_tapes_recorded"] <= 4
+
+    def test_tape_check_smoke_matrix_is_clean(self, bench):
+        """Acceptance: every compiled family's smoke tapes verify with
+        zero findings and the kernel registry has no drift."""
+        check = bench["report"]["tape_check"]
+        assert check["tapes_verified"] > 0
+        assert check["findings"] == 0
+        assert set(check["families"]) == {"doppelganger", "rowgan",
+                                          "stan", "ops"}
+        assert check["registry_issues"] == 0
+
+    def test_tape_check_verifier_is_record_time_only(self, bench):
+        """Verification happens once per recording — a full pass over
+        a real training tape must stay in the low-millisecond range."""
+        check = bench["report"]["tape_check"]
+        assert check["verified_tape_ops"] > 0
+        assert check["verify_ms_per_tape"] < 250.0
+
+    def test_sanitizer_off_replay_cost_unchanged(self, bench):
+        """Acceptance: with the sanitizer machinery present but off,
+        warm replay must cost what it did before this PR (within noise
+        — the gate allows 25% on sub-millisecond steps)."""
+        overhead = bench["report"]["tape_check"]["sanitize_off_overhead"]
+        assert overhead["cpus"] == (os.cpu_count() or 1)
+        assert overhead["value"] <= 1.25
+
+    def test_sanitizer_on_overhead_is_recorded(self, bench):
+        """Sanitized replay runs unfused closures plus per-op poison
+        tracking; the (informational) overhead must be present and
+        sane — it is a debugging mode, not a fast path."""
+        check = bench["report"]["tape_check"]
+        assert check["sanitizer_overhead"] > 0
+        assert check["warm_step_ms_sanitized"] > 0

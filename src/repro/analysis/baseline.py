@@ -61,8 +61,16 @@ def save_baseline(path: str, findings: Iterable[Finding]) -> None:
 
 
 def apply_baseline(findings: Iterable[Finding], baseline: Dict[str, int]
-                   ) -> Tuple[List[Finding], List[Finding]]:
-    """Split findings into (new, grandfathered) against a baseline."""
+                   ) -> Tuple[List[Finding], List[Finding], Dict[str, int]]:
+    """Split findings into (new, grandfathered, stale) against a baseline.
+
+    ``stale`` maps baseline fingerprints to their *unconsumed* budget:
+    debt that was grandfathered but no longer occurs.  Stale entries
+    mean the baseline overstates the debt — either the violation was
+    fixed (re-run ``--update-baseline`` to shrink the file) or the code
+    drifted enough that the fingerprint no longer matches (in which
+    case the finding would resurface as *new* and fail the run anyway).
+    """
     budget = dict(baseline)
     new: List[Finding] = []
     old: List[Finding] = []
@@ -73,4 +81,5 @@ def apply_baseline(findings: Iterable[Finding], baseline: Dict[str, int]
             old.append(finding)
         else:
             new.append(finding)
-    return new, old
+    stale = {fp: count for fp, count in sorted(budget.items()) if count > 0}
+    return new, old, stale

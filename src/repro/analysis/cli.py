@@ -50,15 +50,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline", action="store_true",
         help="write current findings to the baseline file and exit 0")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (json includes fingerprints and op reports)")
+        "--format", choices=("text", "json", "github"), default="text",
+        help="output format (json includes fingerprints and op/tape "
+             "reports; github emits workflow error annotations)")
     parser.add_argument(
         "--select", metavar="RULES",
-        help="comma-separated rule ids to run (default: all)")
+        help="comma-separated rule ids to run (default: all; disables "
+             "unused-suppression detection)")
     parser.add_argument(
         "--check-ops", action="store_true",
         help="also verify every repro.nn op supports double backprop "
              "(semantic check; imports repro.nn)")
+    parser.add_argument(
+        "--check-tapes", action="store_true",
+        help="record smoke tapes for every compiled family, run the "
+             "static tape verifier and the registry-drift guard, and "
+             "replay a sanitized training smoke (imports repro.nn)")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the registered rules and exit")
@@ -89,7 +96,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     paths = args.paths or ["src"]
     rules = _select_rules(args.select)
-    findings = check_paths(paths, rules=rules)
+    # Unused-suppression detection only makes sense with the full rule
+    # set: a narrowed run would flag other rules' suppressions as dead.
+    findings = check_paths(paths, rules=rules,
+                           report_unused=args.select is None)
 
     if args.update_baseline:
         save_baseline(args.baseline, findings)
@@ -98,7 +108,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     baseline = {} if args.no_baseline else load_baseline(args.baseline)
-    new, grandfathered = apply_baseline(findings, baseline)
+    new, grandfathered, stale = apply_baseline(findings, baseline)
 
     op_reports = []
     if args.check_ops:
@@ -106,18 +116,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         op_reports = check_double_backprop()
     failed_ops = [r for r in op_reports if not r.ok]
 
+    tape_report = sync_report = sanitizer_report = None
+    tape_findings = []
+    sync_issues = []
+    if args.check_tapes:
+        from .registry_sync import check_registry_sync
+        from .tape_smoke import run_sanitized_smoke, run_tape_checks
+        tape_report = run_tape_checks()
+        sync_report = check_registry_sync()
+        sanitizer_report = run_sanitized_smoke()
+        tape_findings = [
+            dict(f, label=t["label"])
+            for fam in tape_report["families"]
+            for t in fam["tapes"] for f in t["findings"]]
+        sync_issues = sync_report["issues"]
+    tapes_failed = bool(
+        tape_findings or sync_issues
+        or (sanitizer_report is not None and not sanitizer_report["ok"]))
+
     if args.format == "json":
-        print(json.dumps({
+        payload = {
             "findings": [f.to_dict() for f in new],
             "grandfathered": [f.to_dict() for f in grandfathered],
+            "stale_baseline": stale,
             "ops": [r.to_dict() for r in op_reports],
             "summary": {
                 "new": len(new),
                 "grandfathered": len(grandfathered),
+                "stale_baseline": sum(stale.values()),
                 "ops_checked": len(op_reports),
                 "ops_failed": len(failed_ops),
             },
-        }, indent=2))
+        }
+        if args.check_tapes:
+            payload["tapes"] = tape_report
+            payload["registry_sync"] = sync_report
+            payload["sanitizer"] = sanitizer_report
+            payload["summary"]["tapes_verified"] = \
+                tape_report["tapes_verified"]
+            payload["summary"]["tape_findings"] = len(tape_findings)
+            payload["summary"]["registry_issues"] = len(sync_issues)
+        print(json.dumps(payload, indent=2))
+    elif args.format == "github":
+        _print_github(new, failed_ops, tape_findings, sync_issues,
+                      sanitizer_report, stale)
     else:
         for finding in new:
             print(finding.format())
@@ -125,15 +167,69 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"op {report.name}: FAIL "
                   f"(analytic={report.analytic:.6g}, "
                   f"fd={report.finite_diff:.6g}) — {report.detail}")
+        for f in tape_findings:
+            origin = f" ({f['origin']})" if f.get("origin") else ""
+            print(f"tape {f['label']!r} op {f['op_index']}: "
+                  f"[{f['rule']}] {f['message']}{origin}")
+        for issue in sync_issues:
+            sites = ("; " + ", ".join(issue["sites"])
+                     if issue.get("sites") else "")
+            print(f"registry-sync [{issue['kind']}] {issue['name']}: "
+                  f"{issue['detail']}{sites}")
+        if sanitizer_report is not None and not sanitizer_report["ok"]:
+            print(f"sanitizer smoke: FAIL — {sanitizer_report['error']}")
+        if stale:
+            print(f"{sum(stale.values())} stale baseline entr"
+                  f"{'y' if sum(stale.values()) == 1 else 'ies'} "
+                  f"(grandfathered findings that no longer occur; "
+                  f"re-run --update-baseline to shrink the file)")
         summary = (f"{len(new)} finding(s)"
                    + (f", {len(grandfathered)} baselined"
                       if grandfathered else ""))
         if op_reports:
             summary += (f"; {len(op_reports)} op(s) checked, "
                         f"{len(failed_ops)} failed")
+        if args.check_tapes:
+            summary += (f"; {tape_report['tapes_verified']} tape(s) "
+                        f"verified, {len(tape_findings)} finding(s), "
+                        f"{len(sync_issues)} registry issue(s)")
         print(summary)
 
-    return 1 if (new or failed_ops) else 0
+    return 1 if (new or failed_ops or tapes_failed) else 0
+
+
+def _print_github(new, failed_ops, tape_findings, sync_issues,
+                  sanitizer_report, stale) -> None:
+    """GitHub Actions workflow annotations (``::error``/``::warning``)."""
+
+    def esc(text: str) -> str:
+        # Annotation payloads are single-line; GitHub decodes %0A.
+        return str(text).replace("%", "%25").replace("\r", "%0D") \
+            .replace("\n", "%0A")
+
+    for finding in new:
+        print(f"::error file={finding.path},line={finding.line},"
+              f"col={finding.col + 1},"
+              f"title=repro.analysis[{finding.rule_id}]::"
+              f"{esc(finding.message)}")
+    for report in failed_ops:
+        print(f"::error title=repro.analysis op {esc(report.name)}::"
+              f"{esc(report.detail)} (analytic={report.analytic:.6g}, "
+              f"fd={report.finite_diff:.6g})")
+    for f in tape_findings:
+        origin = f" ({f['origin']})" if f.get("origin") else ""
+        print(f"::error title=tape {esc(f['label'])} op {f['op_index']} "
+              f"[{esc(f['rule'])}]::{esc(f['message'] + origin)}")
+    for issue in sync_issues:
+        print(f"::error title=registry-sync [{esc(issue['kind'])}]::"
+              f"{esc(issue['name'] + ': ' + issue['detail'])}")
+    if sanitizer_report is not None and not sanitizer_report["ok"]:
+        print(f"::error title=tape sanitizer smoke::"
+              f"{esc(sanitizer_report['error'])}")
+    for fingerprint, count in stale.items():
+        print(f"::warning title=stale baseline entry::fingerprint "
+              f"{fingerprint} has {count} unconsumed grandfathered "
+              f"finding(s); re-run --update-baseline")
 
 
 if __name__ == "__main__":  # pragma: no cover

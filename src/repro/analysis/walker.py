@@ -16,13 +16,20 @@ Suppression syntax (mirrors the familiar ``noqa``/``type: ignore``):
 
 A suppression comment should state the invariant that makes the code
 safe — the linter enforces the convention, the comment documents it.
+A suppression that no longer suppresses anything is debt in the other
+direction: it silently licenses a future violation.  When the full
+rule set runs (``report_unused=True``; the CLI enables it unless
+``--select`` narrows the rules), every line or file-wide suppression
+that matched no finding is itself reported as ``unused-suppression``.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
+import tokenize
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from .findings import Finding
@@ -65,21 +72,43 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
                     yield full
 
 
-def parse_suppressions(text: str):
-    """Return (line -> suppressed-rule-set, file-wide-rule-set).
+def _comments(text: str):
+    """Yield ``(lineno, comment_text)`` for real comment tokens only.
 
-    An empty set value means "every rule" (bare ``# repro: ignore``).
+    Suppression syntax inside string literals or docstrings (rule
+    documentation, test snippets) must neither suppress nor count as
+    an unused suppression, so the scan tokenizes rather than greps.
+    Falls back to a lexical line scan if the source does not tokenize.
+    """
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if "#" in line:
+                yield lineno, line[line.index("#"):]
+
+
+def _parse_suppressions_full(text: str):
+    """Parse suppressions plus where each file-wide one was written.
+
+    Returns ``(per_line, file_wide, file_wide_lines)`` where
+    ``file_wide_lines`` maps each file-wide rule id to the line of its
+    ``ignore-file`` comment (needed to anchor unused-suppression
+    findings).
     """
     per_line: Dict[int, Optional[Set[str]]] = {}
     file_wide: Set[str] = set()
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        if "#" not in line:
-            continue
+    file_wide_lines: Dict[str, int] = {}
+    for lineno, line in _comments(text):
         file_match = _FILE_RE.search(line)
         if file_match:
-            file_wide.update(
-                part.strip() for part in file_match.group(1).split(",")
-                if part.strip())
+            for part in file_match.group(1).split(","):
+                rule_id = part.strip()
+                if rule_id:
+                    file_wide.add(rule_id)
+                    file_wide_lines.setdefault(rule_id, lineno)
             continue
         match = _LINE_RE.search(line)
         if match:
@@ -90,6 +119,15 @@ def parse_suppressions(text: str):
                 wanted = {part.strip() for part in ids.split(",")
                           if part.strip()}
                 per_line[lineno] = per_line.get(lineno, set()) | wanted
+    return per_line, file_wide, file_wide_lines
+
+
+def parse_suppressions(text: str):
+    """Return (line -> suppressed-rule-set, file-wide-rule-set).
+
+    An empty set value means "every rule" (bare ``# repro: ignore``).
+    """
+    per_line, file_wide, _ = _parse_suppressions_full(text)
     return per_line, file_wide
 
 
@@ -102,9 +140,65 @@ def _suppressed(finding: Finding, per_line, file_wide: Set[str]) -> bool:
     return False
 
 
+def _snippet_at(lines: List[str], lineno: int) -> str:
+    if 1 <= lineno <= len(lines):
+        return lines[lineno - 1].strip()
+    return ""
+
+
+def _unused_suppressions(text: str, path: str, per_line, file_wide,
+                         file_wide_lines, used_lines: Set[int],
+                         used_line_rules: Set, used_file_wide: Set[str]
+                         ) -> List[Finding]:
+    """``unused-suppression`` findings for every suppression that
+    matched nothing in this run."""
+    from .rules import rule_ids
+    known = set(rule_ids()) | {"parse-error", "io-error"}
+    lines = text.splitlines()
+    findings: List[Finding] = []
+    for lineno in sorted(per_line):
+        ids = per_line[lineno]
+        if ids is None:
+            if lineno not in used_lines:
+                findings.append(Finding(
+                    rule_id="unused-suppression", path=path, line=lineno,
+                    col=0, message="blanket '# repro: ignore' matched "
+                                   "no finding; remove it",
+                    snippet=_snippet_at(lines, lineno)))
+            continue
+        for rule_id in sorted(ids):
+            if (lineno, rule_id) in used_line_rules:
+                continue
+            unknown = ("" if rule_id in known
+                       else " (no such rule is registered)")
+            findings.append(Finding(
+                rule_id="unused-suppression", path=path, line=lineno,
+                col=0,
+                message=f"suppression for '{rule_id}' matched no "
+                        f"finding{unknown}; remove it",
+                snippet=_snippet_at(lines, lineno)))
+    for rule_id in sorted(file_wide):
+        if rule_id in used_file_wide:
+            continue
+        lineno = file_wide_lines.get(rule_id, 1)
+        unknown = "" if rule_id in known else " (no such rule is registered)"
+        findings.append(Finding(
+            rule_id="unused-suppression", path=path, line=lineno, col=0,
+            message=f"file-wide suppression for '{rule_id}' matched no "
+                    f"finding{unknown}; remove it",
+            snippet=_snippet_at(lines, lineno)))
+    return findings
+
+
 def check_source(text: str, path: str = "<snippet>",
-                 rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
-    """Run rules over one source string (the fixture/test entry point)."""
+                 rules: Optional[Iterable[Rule]] = None,
+                 report_unused: bool = False) -> List[Finding]:
+    """Run rules over one source string (the fixture/test entry point).
+
+    ``report_unused`` additionally reports suppression comments that
+    matched no finding; only meaningful when the *full* rule set runs
+    (a narrowed set would flag other rules' suppressions as dead).
+    """
     chosen = list(rules) if rules is not None else all_rules()
     try:
         tree = ast.parse(text, filename=path)
@@ -114,7 +208,10 @@ def check_source(text: str, path: str = "<snippet>",
             col=(exc.offset or 1) - 1,
             message=f"file does not parse: {exc.msg}")]
     module = ModuleSource(path=path, text=text, tree=tree)
-    per_line, file_wide = parse_suppressions(text)
+    per_line, file_wide, file_wide_lines = _parse_suppressions_full(text)
+    used_lines: Set[int] = set()
+    used_line_rules: Set = set()
+    used_file_wide: Set[str] = set()
     findings: List[Finding] = []
     for rule in chosen:
         if not rule.applies_to(path):
@@ -122,12 +219,26 @@ def check_source(text: str, path: str = "<snippet>",
         for finding in rule.check(module):
             if not _suppressed(finding, per_line, file_wide):
                 findings.append(finding)
+                continue
+            if finding.rule_id in file_wide:
+                used_file_wide.add(finding.rule_id)
+            if finding.line in per_line:
+                rules_here = per_line[finding.line]
+                if rules_here is None:
+                    used_lines.add(finding.line)
+                elif finding.rule_id in rules_here:
+                    used_line_rules.add((finding.line, finding.rule_id))
+    if report_unused:
+        findings.extend(_unused_suppressions(
+            text, path, per_line, file_wide, file_wide_lines,
+            used_lines, used_line_rules, used_file_wide))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings
 
 
 def check_paths(paths: Sequence[str],
-                rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
+                rules: Optional[Iterable[Rule]] = None,
+                report_unused: bool = False) -> List[Finding]:
     """Run rules over every ``.py`` file under the given paths."""
     chosen = list(rules) if rules is not None else all_rules()
     findings: List[Finding] = []
@@ -141,6 +252,7 @@ def check_paths(paths: Sequence[str],
                 line=1, col=0, message=f"cannot read file: {exc}"))
             continue
         rel = os.path.relpath(filepath).replace(os.sep, "/")
-        findings.extend(check_source(text, path=rel, rules=chosen))
+        findings.extend(check_source(text, path=rel, rules=chosen,
+                                     report_unused=report_unused))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings

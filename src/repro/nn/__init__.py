@@ -18,6 +18,12 @@ from .autograd import (
     tensor,
     where,
 )
+from .contracts import (
+    KernelContract,
+    contract_for,
+    declare_kernel,
+    kernel_name,
+)
 from .functional import (
     binary_cross_entropy_with_logits,
     cross_entropy,
@@ -40,18 +46,30 @@ from .layers import (
     Sequential,
 )
 from .optim import SGD, Adam, Optimizer, clip_global_norm
-from .pool import BufferPool, POOL, POOL_ENV_VAR, pool_active
+from .pool import (
+    BufferPool,
+    POOL,
+    POOL_ENV_VAR,
+    SANITIZE_ENV_VAR,
+    configure_sanitize,
+    pool_active,
+    sanitize_enabled,
+)
 from .tape import (
     CompiledInfer,
     CompiledStep,
     LiveRng,
     TAPE_ENV_VAR,
+    VERIFY_ENV_VAR,
+    TapeSanitizerError,
     bucket_size,
     compiled_infer,
     compiled_step,
+    configure_verify,
     invalidate_tapes,
     tape_enabled,
     tape_stats,
+    verify_enabled,
 )
 
 __all__ = [
@@ -65,7 +83,11 @@ __all__ = [
     "LayerNorm", "Embedding",
     "Optimizer", "SGD", "Adam", "clip_global_norm",
     "BufferPool", "POOL", "POOL_ENV_VAR", "pool_active",
+    "SANITIZE_ENV_VAR", "sanitize_enabled", "configure_sanitize",
+    "KernelContract", "declare_kernel", "contract_for", "kernel_name",
     "CompiledStep", "compiled_step", "TAPE_ENV_VAR", "tape_enabled",
     "tape_stats", "invalidate_tapes",
+    "VERIFY_ENV_VAR", "verify_enabled", "configure_verify",
+    "TapeSanitizerError",
     "CompiledInfer", "compiled_infer", "LiveRng", "bucket_size",
 ]

@@ -1,0 +1,178 @@
+"""Declarative kernel contracts: what every recorded kernel may touch.
+
+The tape compiler (``repro.nn.tape``) replays recorded kernels as
+``fn(*args, out=buf)`` closures, and the liveness planner remaps the
+``out`` buffers onto shared storage.  Both moves are only sound under
+per-kernel aliasing rules that, until this module, lived as implicit
+conventions spread across the call sites: *elementwise ufuncs may write
+one of their own operands* (the in-place optimizer updates depend on
+it), *matmul and the reductions must not* (BLAS and pairwise summation
+read operands non-sequentially), *``np.add.at`` mutates its first
+argument and nothing else*.
+
+This module makes those conventions declarative.  Every kernel that can
+appear on a tape is registered with a :class:`KernelContract` naming its
+kind and whether its ``out=`` may alias an input; the static verifier
+(``repro.analysis.tape_check``) checks every tape op against its
+contract, and the registry-drift guard (``repro.analysis.
+registry_sync``) asserts that every kernel launch site in the source
+tree has a contract — a new kernel without one is a CI failure.
+
+Contracts are keyed by *kernel name* (``add``, ``matmul``,
+``add.reduce``), not object identity: ufunc method objects
+(``np.add.at``) are rebuilt per attribute access, so identity is not
+stable, while names are.  Declarations are idempotent — a module may
+re-declare a kernel it launches (documenting its footprint at the
+launch site) as long as the spec is identical; a *conflicting*
+re-declaration raises.
+
+This module imports nothing from ``repro.nn`` (numpy only) so the
+analysis package can load it without dragging in the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "KernelContract",
+    "declare_kernel",
+    "contract_for",
+    "kernel_name",
+    "has_explicit_contract",
+    "declared_kernel_names",
+]
+
+#: The contract kinds the verifier understands.
+KINDS = frozenset({
+    "elementwise",   # value at out[i] depends only on inputs at [i]
+    "reduction",     # out smaller than input; reads input non-sequentially
+    "scan",          # cumulative op; in-order, may run in place
+    "rearrange",     # moves values (stack/concatenate/take/reshape)
+    "gemm",          # matmul; BLAS reads blocks of both operands
+    "inplace",       # mutates an argument (np.add.at); no out=
+})
+
+
+@dataclass(frozen=True)
+class KernelContract:
+    """Aliasing/mutation rules for one replayable kernel.
+
+    ``out_may_alias_inputs`` permits ``out`` to be *the same array* as
+    an input (identical storage, shape, and strides — the in-place
+    optimizer pattern).  Partially overlapping views are never legal,
+    for any kind: even an elementwise ufunc may process elements in an
+    order that reads an input slot after writing it.
+    """
+
+    name: str
+    kind: str
+    out_may_alias_inputs: bool = False
+    mutates: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown contract kind {self.kind!r} "
+                             f"for kernel {self.name!r}")
+
+
+_REGISTRY: Dict[str, KernelContract] = {}
+
+
+def kernel_name(fn) -> str:
+    """Stable name of a recorded kernel callable.
+
+    Ufunc methods are qualified with their owner (``np.add.at`` →
+    ``"add.at"``); everything else reports its ``__name__`` (note
+    ``np.abs`` *is* ``np.absolute``, so its name is ``"absolute"``).
+    """
+    owner = getattr(fn, "__self__", None)
+    if isinstance(owner, np.ufunc):
+        return f"{owner.__name__}.{getattr(fn, '__name__', '?')}"
+    return getattr(fn, "__name__", repr(fn))
+
+
+def declare_kernel(fn, kind: str, *, out_may_alias_inputs: bool = False,
+                   mutates: Tuple[int, ...] = ()) -> KernelContract:
+    """Register (idempotently) the contract for one kernel callable."""
+    contract = KernelContract(
+        name=kernel_name(fn), kind=kind,
+        out_may_alias_inputs=out_may_alias_inputs,
+        mutates=tuple(mutates))
+    existing = _REGISTRY.get(contract.name)
+    if existing is not None:
+        if existing != contract:
+            raise ValueError(
+                f"conflicting contract for kernel {contract.name!r}: "
+                f"{existing} vs {contract}")
+        return existing
+    _REGISTRY[contract.name] = contract
+    return contract
+
+
+def contract_for(fn) -> Optional[KernelContract]:
+    """Contract for a kernel callable, or ``None`` if undeclared.
+
+    Lookup is strictly by declaration — there is no "looks like a
+    ufunc, assume elementwise" fallback.  Implicit conventions are
+    exactly what this registry replaces; an undeclared kernel is a
+    verifier finding (and a registry-sync CI failure), not a guess.
+    """
+    return _REGISTRY.get(kernel_name(fn))
+
+
+def has_explicit_contract(name: str) -> bool:
+    """True when a contract is declared under ``name`` (dotted kernel
+    name as produced by :func:`kernel_name`, no ``np.`` prefix)."""
+    return name in _REGISTRY
+
+
+def declared_kernel_names() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+# ----------------------------------------------------------------------
+# The core kernel surface.
+#
+# Everything the autograd dunders, the optimizers, the planner, and the
+# DP-SGD path launch.  Modules with kernels of their own re-declare
+# them at the launch site (see repro/nn/functional.py); registry_sync
+# walks the source tree and fails CI on any launch without a contract.
+# ----------------------------------------------------------------------
+
+# Elementwise algebra: out may be an operand (in-place optimizer
+# updates: np.add(m, s, out=m), np.sqrt(u, out=u), ...).
+for _fn in (np.add, np.subtract, np.multiply, np.divide, np.power,
+            np.negative, np.exp, np.log, np.tanh, np.sqrt, np.sign,
+            np.absolute, np.greater, np.greater_equal, np.less,
+            np.less_equal, np.equal, np.not_equal, np.logical_and,
+            np.logical_or, np.maximum, np.minimum):
+    declare_kernel(_fn, "elementwise", out_may_alias_inputs=True)
+
+# np.clip is a plain function in modern numpy but behaves elementwise.
+declare_kernel(np.clip, "elementwise", out_may_alias_inputs=True)
+# Elementwise three-way select (replayed via copyto; out never aliases).
+declare_kernel(np.where, "elementwise", out_may_alias_inputs=True)
+
+# Reductions: pairwise summation / BLAS-order reads forbid aliasing.
+for _fn in (np.sum, np.max, np.min):
+    declare_kernel(_fn, "reduction")
+declare_kernel(np.add.reduce, "reduction")
+
+# In-order cumulative scan (numpy documents cumsum(a, out=a) as legal).
+declare_kernel(np.cumsum, "scan", out_may_alias_inputs=True)
+
+# Data movement: writing out while reading it would move moved values.
+for _fn in (np.stack, np.concatenate, np.take, np.reshape):
+    declare_kernel(_fn, "rearrange")
+
+# GEMM: BLAS reads operand blocks repeatedly; out must be distinct.
+declare_kernel(np.matmul, "gemm")
+
+# Fancy-index scatter: mutates its first argument in place.
+declare_kernel(np.add.at, "inplace", mutates=(0,))
+
+del _fn

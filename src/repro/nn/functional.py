@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from .autograd import Tensor, maximum
+from .contracts import declare_kernel as _declare_kernel
 from .tape import ka as _ka, taped_draw as _taped_draw
 
 __all__ = [
@@ -79,7 +80,7 @@ def gumbel_softmax(
     # generator, mid-forward, preserving eager stream order) and the
     # log chain runs as recorded kernels.
     u = _taped_draw(lambda: rng.uniform(1e-12, 1.0, size=logits.shape))
-    gumbel = _ka(np.negative, _ka(  # repro: ignore[numerical-stability]
+    gumbel = _ka(np.negative, _ka(
         np.log, _ka(np.negative, _ka(np.log, u))))
     soft = softmax((logits + Tensor(gumbel)) * (1.0 / temperature), axis=-1)
     if not hard:
@@ -93,3 +94,14 @@ def gumbel_softmax(
 
 def l2_norm(t: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
     return (t.square().sum(axis=axis) + eps).sqrt()
+
+
+# ----------------------------------------------------------------------
+# Kernel contracts for the raw kernels this module launches outside the
+# Tensor dunders — the taped Gumbel log chain above.  Declared at the
+# launch site so the registry-drift guard can trace every recorded
+# kernel in this file to a contract; ``declare_kernel`` is idempotent,
+# so the co-declaration in ``repro.nn.contracts`` is not a conflict.
+for _fn in (np.log, np.negative):
+    _declare_kernel(_fn, "elementwise", out_may_alias_inputs=True)
+del _fn

@@ -49,13 +49,15 @@ from __future__ import annotations
 
 import contextlib
 import os
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..telemetry.state import STATE as _TELEMETRY
 
-__all__ = ["BufferPool", "POOL", "POOL_ENV_VAR", "pool_active"]
+__all__ = ["BufferPool", "POOL", "POOL_ENV_VAR", "pool_active",
+           "SANITIZE_ENV_VAR", "sanitize_enabled", "configure_sanitize",
+           "poison", "is_poisoned"]
 
 #: Set to ``0`` / ``false`` / ``off`` to disable buffer pooling and
 #: fall back to the original allocate-per-op kernels (parity oracle).
@@ -66,6 +68,61 @@ _OFF_VALUES = frozenset({"0", "false", "off", "no"})
 
 def _env_enabled() -> bool:
     return os.environ.get(POOL_ENV_VAR, "1").strip().lower() not in _OFF_VALUES
+
+
+# ----------------------------------------------------------------------
+# Sanitizer mode (the ASan analogue for pooled/taped storage)
+# ----------------------------------------------------------------------
+#: Set to ``1`` to enable the memory sanitizer: buffers are poisoned on
+#: pool release / tape liveness expiry, and sanitized tape replays trap
+#: write-after-release and read-of-poison (see repro.nn.tape).  Off by
+#: default — this is a debugging mode, not a production one.
+SANITIZE_ENV_VAR = "REPRO_NN_SANITIZE"
+
+_ON_VALUES = frozenset({"1", "true", "on", "yes"})
+
+_sanitize_forced: Optional[bool] = None
+
+
+def sanitize_enabled() -> bool:
+    """True when sanitizer mode is active for this process."""
+    if _sanitize_forced is not None:
+        return _sanitize_forced
+    return os.environ.get(SANITIZE_ENV_VAR, "").strip().lower() in _ON_VALUES
+
+
+def configure_sanitize(enabled: Optional[bool]) -> None:
+    """Force sanitizer mode on/off (``None`` restores the environment
+    default).  Used by tests and the ``--check-tapes`` smoke recorder."""
+    global _sanitize_forced
+    _sanitize_forced = enabled if enabled is None else bool(enabled)
+
+
+#: The poison payload: a quiet NaN whose mantissa spells out where it
+#: came from.  Any stray arithmetic on released storage turns into NaNs
+#: (visible in parity checks) even on paths the sanitizer's explicit
+#: access checks do not instrument.
+_POISON_BITS = np.uint64(0x7FF8DEADBEEFF00D)
+_POISON_VALUE = float(np.frombuffer(_POISON_BITS.tobytes(),
+                                    dtype=np.float64)[0])
+
+
+def poison(buf: np.ndarray) -> None:
+    """Fill a released float64 buffer with the poison NaN.  Non-float
+    buffers (bool masks, int index arrays) cannot carry a NaN payload
+    and are left alone — the sanitizer's state tracking still covers
+    them."""
+    if buf.dtype == np.float64:
+        buf[...] = _POISON_VALUE
+
+
+def is_poisoned(buf: np.ndarray) -> bool:
+    """True when any element of ``buf`` carries the exact poison bit
+    pattern (a plain NaN comparison would also match legitimate NaNs)."""
+    if buf.dtype != np.float64 or buf.size == 0:
+        return False
+    bits = np.ascontiguousarray(buf).view(np.uint64)
+    return bool((bits == _POISON_BITS).any())
 
 
 class _NullRecorder:
@@ -210,6 +267,8 @@ class BufferPool:
                 or buf.base is not None
                 or not buf.flags["C_CONTIGUOUS"]):
             return
+        if sanitize_enabled():
+            poison(buf)
         entry = self._free.get(buf.shape)
         if entry is None:
             self._free[buf.shape] = [0, [buf]]
@@ -240,8 +299,15 @@ class BufferPool:
 
     def _recycle(self) -> None:
         taken = 0
+        sanitize = sanitize_enabled()
         for entry in self._free.values():
             taken += entry[0]
+            if sanitize:
+                # Everything handed out this step is dead by contract
+                # (pool-scope rule): poison it so a tensor held across
+                # the scope exit reads NaNs instead of stale values.
+                for buf in entry[1][:entry[0]]:
+                    poison(buf)
             entry[0] = 0
         self.hits += taken - (self.misses - self._scope_misses)
         if _TELEMETRY.enabled:

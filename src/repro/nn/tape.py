@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import sys
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -63,9 +64,12 @@ from .pool import POOL as _POOL
 
 __all__ = [
     "TAPE_ENV_VAR",
+    "VERIFY_ENV_VAR",
     "Recorder",
     "RECORDER",
     "Tape",
+    "TapePlan",
+    "TapeSanitizerError",
     "CompiledStep",
     "compiled_step",
     "CompiledInfer",
@@ -73,7 +77,11 @@ __all__ = [
     "LiveRng",
     "bucket_size",
     "configure",
+    "configure_verify",
+    "verify_enabled",
     "tape_enabled",
+    "trace_origins",
+    "collect_tapes",
     "invalidate_tapes",
     "tape_stats",
     "reset_tape_stats",
@@ -87,9 +95,16 @@ __all__ = [
 #: keep every step on the eager path (the parity oracle).
 TAPE_ENV_VAR = "REPRO_NN_TAPE"
 
+#: Set to ``0`` to skip the static tape verifier at build time.  On by
+#: default: verification runs once per recording (never on the warm
+#: replay path), and a tape that fails it would silently corrupt
+#: everything downstream.
+VERIFY_ENV_VAR = "REPRO_NN_VERIFY"
+
 _OFF_VALUES = frozenset({"0", "false", "off", "no"})
 
 _forced: Optional[bool] = None
+_verify_forced: Optional[bool] = None
 
 
 def tape_enabled() -> bool:
@@ -104,6 +119,29 @@ def configure(enabled: Optional[bool]) -> None:
     environment-variable default).  Used by tests and the bench."""
     global _forced
     _forced = enabled if enabled is None else bool(enabled)
+
+
+def verify_enabled() -> bool:
+    """True when every newly built tape is statically verified."""
+    if _verify_forced is not None:
+        return _verify_forced
+    return os.environ.get(VERIFY_ENV_VAR, "1").strip().lower() not in _OFF_VALUES
+
+
+def configure_verify(enabled: Optional[bool]) -> None:
+    """Force build-time tape verification on/off (``None`` restores the
+    environment default).  The smoke recorder turns it off to *collect*
+    findings instead of raising on the first one; tests build known-bad
+    tapes the same way."""
+    global _verify_forced
+    _verify_forced = enabled if enabled is None else bool(enabled)
+
+
+class TapeSanitizerError(RuntimeError):
+    """A sanitized replay touched released storage (write-after-release
+    or read-of-poison).  The message names the tape, the op index, the
+    kernel, and — when the tape was recorded with origin tracing — the
+    source line that recorded the op."""
 
 
 #: Process-wide generation counter: bumping it (``invalidate_tapes``)
@@ -161,14 +199,22 @@ class Recorder:
     ``("host", closure)``
         opaque host-state advance (e.g. Adam's step counter); must
         not touch tape-owned buffers
+
+    When origin tracing is on (sanitizer mode, or explicitly via
+    :func:`trace_origins`), every entry also records the source line
+    that launched it, so verifier findings and sanitizer traps can name
+    the offending call site, not just the op index.
     """
 
-    __slots__ = ("active", "entries", "owned", "_buffers")
+    __slots__ = ("active", "entries", "owned", "origins", "trace",
+                 "_buffers")
 
     def __init__(self):
         self.active = False
         self.entries: List[Tuple] = []
         self.owned: Dict[int, np.ndarray] = {}
+        self.origins: List[Optional[str]] = []
+        self.trace = False
         self._buffers: List[np.ndarray] = []
 
     # -- lifecycle -----------------------------------------------------
@@ -177,6 +223,8 @@ class Recorder:
             raise RuntimeError("recorder is already active")
         self.entries = []
         self.owned = {}
+        self.origins = []
+        self.trace = _trace_origins or _pool.sanitize_enabled()
         self._buffers = []
         self.active = True
 
@@ -184,6 +232,9 @@ class Recorder:
         self.active = False
         entries, self.entries = self.entries, []
         return entries
+
+    def _origin(self) -> Optional[str]:
+        return _capture_origin() if self.trace else None
 
     # -- the pool redirect (tape arena) --------------------------------
     def take(self, shape: Tuple[int, ...]) -> np.ndarray:
@@ -205,35 +256,76 @@ class Recorder:
     # -- entry appends -------------------------------------------------
     def k(self, fn, args: Tuple, out: np.ndarray, kw: Optional[dict] = None):
         self.entries.append(("k", fn, args, out, kw))
+        self.origins.append(self._origin())
 
     def a(self, fn, args: Tuple, res, kw: Optional[dict] = None):
         self._own(res)
         self.entries.append(("a", fn, args, res, kw))
+        self.origins.append(self._origin())
 
     def gather(self, src: np.ndarray, key, res: np.ndarray) -> None:
         self._own(res)
         self.entries.append(("g", src, key, res))
+        self.origins.append(self._origin())
 
     def inplace(self, fn, args: Tuple) -> None:
         self.entries.append(("ip", fn, args))
+        self.origins.append(self._origin())
 
     def fill(self, buf: np.ndarray, value: float) -> None:
         self.entries.append(("fill", buf, value))
+        self.origins.append(self._origin())
 
     def copy(self, dst: np.ndarray, src: np.ndarray) -> None:
         self.entries.append(("copy", dst, src))
+        self.origins.append(self._origin())
 
     def rng(self, draw: Callable[[], np.ndarray], buf: np.ndarray) -> None:
         self.owned.pop(id(buf), None)  # pinned: the closure holds it
         self.entries.append(("rng", draw, buf))
+        self.origins.append(self._origin())
 
     def host(self, closure: Callable[[], None]) -> None:
         self.entries.append(("host", closure))
+        self.origins.append(self._origin())
 
 
 #: The process-wide recorder every shimmed kernel reports to.
 RECORDER = Recorder()
 _pool._set_recorder(RECORDER)
+
+_trace_origins = False
+
+
+def trace_origins(enabled: bool) -> None:
+    """Record per-entry source origins on subsequent recordings even
+    outside sanitizer mode (the ``--check-tapes`` smoke recorder turns
+    this on so findings carry source lines)."""
+    global _trace_origins
+    _trace_origins = bool(enabled)
+
+
+_NN_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def _capture_origin() -> Optional[str]:
+    """Walk out of the engine's frames to the line that launched the
+    recorded kernel: the first frame outside ``repro/nn`` is the
+    origin, the innermost engine frame outside this file the ``via``."""
+    try:
+        frame = sys._getframe(3)
+    except ValueError:  # pragma: no cover - stack shallower than the shims
+        return None
+    via = None
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not filename.startswith(_NN_DIR):
+            origin = f"{filename}:{frame.f_lineno}"
+            return f"{origin} (via {via})" if via else origin
+        if os.path.basename(filename) != "tape.py":
+            via = f"{os.path.basename(filename)}:{frame.f_lineno}"
+        frame = frame.f_back
+    return via
 
 
 # ----------------------------------------------------------------------
@@ -330,9 +422,50 @@ def _entry_refs(entry: Tuple):
     return [], []          # host
 
 
+class TapePlan:
+    """The planner's full output, retained for verification and the
+    sanitizer: the recorded IR before and after storage remapping, the
+    ownership/pinning/interval metadata the coloring was derived from,
+    and the fusion grouping.  ``repro.analysis.tape_check`` re-derives
+    the invariants from ``pre_entries`` and checks the coloring and the
+    ``post_entries`` against them; the sanitized replay builds its
+    poison/def schedule from the intervals.
+
+    ``pre_entries`` and ``post_entries`` are index-aligned (remapping
+    rewrites buffers, never reorders), and ``origins`` — when the tape
+    was recorded with tracing on — aligns with both.
+    """
+
+    __slots__ = ("pre_entries", "post_entries", "owned", "pinned",
+                 "first", "last", "mapping", "groups", "origins",
+                 "binds", "outs", "scalar", "label",
+                 "bytes_recorded", "bytes_planned", "surplus")
+
+    def __init__(self):
+        self.pre_entries: List[Tuple] = []
+        self.post_entries: List[Tuple] = []
+        self.owned: Dict[int, np.ndarray] = {}
+        self.pinned: set = set()
+        self.first: Dict[int, int] = {}
+        self.last: Dict[int, int] = {}
+        self.mapping: Dict[int, np.ndarray] = {}
+        self.groups: List[Tuple[int, ...]] = []
+        self.origins: List[Optional[str]] = []
+        self.binds: List[Optional[np.ndarray]] = []
+        self.outs: List[np.ndarray] = []
+        self.scalar = False
+        self.label = "tape"
+        self.bytes_recorded = 0
+        self.bytes_planned = 0
+        self.surplus: List[np.ndarray] = []
+
+    def physical(self, bid: int) -> np.ndarray:
+        """Post-coloring storage of a logical (recorded) buffer id."""
+        return self.mapping.get(bid, self.owned[bid])
+
+
 def _plan_buffers(entries: List[Tuple], owned: Dict[int, np.ndarray],
-                  outputs: List[np.ndarray]
-                  ) -> Tuple[List[Tuple], int, int, List[np.ndarray]]:
+                  outputs: List[np.ndarray]) -> TapePlan:
     """Color tape-owned intermediates onto shared physical buffers.
 
     A buffer's live interval runs from its defining entry to its last
@@ -405,6 +538,7 @@ def _plan_buffers(entries: List[Tuple], owned: Dict[int, np.ndarray],
                      + sum(owned[bid].nbytes for bid in pinned
                            if bid in owned))
 
+    pre_entries = entries
     if mapping:
         remapped = []
         for entry in entries:
@@ -414,12 +548,23 @@ def _plan_buffers(entries: List[Tuple], owned: Dict[int, np.ndarray],
                 remapped.append(tuple(_map_arrays(part, mapping)
                                       for part in entry))
         entries = remapped
+
+    plan = TapePlan()
+    plan.pre_entries = pre_entries
+    plan.post_entries = entries
+    plan.owned = dict(owned)
+    plan.pinned = pinned
+    plan.first = first
+    plan.last = last
+    plan.mapping = mapping
+    plan.bytes_recorded = bytes_recorded
+    plan.bytes_planned = bytes_planned
     # Storage the coloring remapped *away from* is unreferenced once
     # the entries above are rebuilt — surface it so the compiled
     # wrappers can donate it back to the buffer pool.
-    surplus = [owned[bid] for bid, phys in mapping.items()
-               if phys is not owned[bid]]
-    return entries, bytes_recorded, bytes_planned, surplus
+    plan.surplus = [owned[bid] for bid, phys in mapping.items()
+                    if phys is not owned[bid]]
+    return plan
 
 
 def _make_closure(entry: Tuple) -> Callable[[], Any]:
@@ -475,13 +620,19 @@ def _links_to(entry: Tuple, value: Optional[np.ndarray]) -> bool:
 _SIGMOID_CHAIN = (np.clip, np.negative, np.exp, np.add, np.divide)
 
 
-def _fuse(entries: List[Tuple],
-          closures: List[Callable]) -> Tuple[List[Callable], int]:
+def _fuse(entries: List[Tuple], closures: List[Callable]
+          ) -> Tuple[List[Callable], int, List[Tuple[int, ...]]]:
     """Peephole pass: merge adjacent entries whose link value flows
     straight into the next kernel.  Fusion only coalesces Python
     dispatch — the composite closure runs the identical kernel
-    sequence on the identical buffers, so it is bitwise-neutral."""
+    sequence on the identical buffers, so it is bitwise-neutral.
+
+    Returns the fused closure list, the number of dispatches removed,
+    and — for the verifier — one entry-index tuple per closure (a
+    singleton for unfused ops, the constituent indices for groups).
+    """
     fused: List[Callable] = []
+    groups: List[Tuple[int, ...]] = []
     removed = 0
     i = 0
     n = len(entries)
@@ -501,6 +652,7 @@ def _fuse(entries: List[Tuple],
                     for op in ops:
                         op()
                 fused.append(run5)
+                groups.append(tuple(range(i, i + 5)))
                 removed += 4
                 i += 5
                 continue
@@ -516,35 +668,92 @@ def _fuse(entries: List[Tuple],
                     a()
                     b()
                 fused.append(run2)
+                groups.append((i, i + 1))
                 removed += 1
                 i += 2
                 continue
         fused.append(closures[i])
+        groups.append((i,))
         i += 1
-    return fused, removed
+    return fused, removed, groups
+
+
+#: Open tape-collection buckets (see :func:`collect_tapes`); every
+#: finished ``Tape`` is appended to each.  Empty in normal operation.
+_COLLECTORS: List[List["Tape"]] = []
+
+
+@contextlib.contextmanager
+def collect_tapes():
+    """Collect every :class:`Tape` built inside the ``with`` block.
+
+    The smoke recorder behind ``python -m repro.analysis --check-tapes``
+    needs the tapes a model family records during ``fit``/``generate``
+    — including tapes held by fit-local ``compiled_step`` objects that
+    are unreachable once ``fit`` returns (STAN's per-field training
+    steps).  Collection keeps a strong reference, so only use this for
+    short verification runs.
+    """
+    bucket: List[Tape] = []
+    _COLLECTORS.append(bucket)
+    try:
+        yield bucket
+    finally:
+        _COLLECTORS.remove(bucket)
 
 
 class Tape:
-    """A finalized, replayable step: closures plus output buffers."""
+    """A finalized, replayable step: closures plus output buffers.
+
+    Construction runs the planner (liveness coloring + fusion), then —
+    unless ``REPRO_NN_VERIFY=0`` — the static verifier
+    (``repro.analysis.tape_check``), which proves the recorded schedule
+    sound before it is ever replayed; a verifier finding raises
+    ``TapeVerificationError`` instead of caching a corrupt tape.  The
+    full :class:`TapePlan` is retained on ``self.plan`` for the
+    verifier, the sanitizer, and tooling.
+    """
 
     __slots__ = ("ops", "outs", "scalar", "generation", "fused_ops",
-                 "bytes_recorded", "bytes_planned", "surplus", "_keepalive")
+                 "bytes_recorded", "bytes_planned", "surplus", "plan",
+                 "label", "_san")
 
     def __init__(self, entries: List[Tuple], owned: Dict[int, np.ndarray],
-                 outs: List[np.ndarray], scalar: bool):
-        entries, rec_bytes, plan_bytes, surplus = _plan_buffers(
-            entries, owned, outs)
-        closures = [_make_closure(e) for e in entries]
-        self.ops, self.fused_ops = _fuse(entries, closures)
+                 outs: List[np.ndarray], scalar: bool,
+                 binds: Optional[List[Optional[np.ndarray]]] = None,
+                 origins: Optional[List[Optional[str]]] = None,
+                 label: str = "tape"):
+        plan = _plan_buffers(entries, owned, outs)
+        closures = [_make_closure(e) for e in plan.post_entries]
+        self.ops, self.fused_ops, plan.groups = _fuse(
+            plan.post_entries, closures)
+        plan.outs = outs
+        plan.scalar = scalar
+        plan.label = label
+        plan.binds = list(binds) if binds else []
+        if origins and len(origins) == len(plan.pre_entries):
+            plan.origins = list(origins)
+        self.plan = plan
+        self.label = label
         self.outs = outs
         self.scalar = scalar
         self.generation = _GENERATION
-        self.bytes_recorded = rec_bytes
-        self.bytes_planned = plan_bytes
-        self.surplus = surplus
-        self._keepalive = entries  # pins captured operand arrays
+        self.bytes_recorded = plan.bytes_recorded
+        self.bytes_planned = plan.bytes_planned
+        self.surplus = plan.surplus
+        self._san = None
+        if verify_enabled():
+            # Lazy import: repro.analysis is pure tooling and only
+            # needed once per recording, never on the replay path.
+            from ..analysis.tape_check import verify_or_raise
+            verify_or_raise(self)
+        for bucket in _COLLECTORS:
+            bucket.append(self)
 
     def replay(self) -> None:
+        if _pool.sanitize_enabled():
+            self._replay_sanitized()
+            return
         for op in self.ops:
             op()
 
@@ -556,6 +765,84 @@ class Tape:
     def result_arrays(self):
         arrays = [o.copy() for o in self.outs]
         return arrays[0] if self.scalar else arrays
+
+    # -- sanitized replay (REPRO_NN_SANITIZE=1) ------------------------
+    def _build_sanitizer(self):
+        """Precompute the poison/def schedule from the plan.
+
+        Per entry: the rooted tape-owned storages it reads and writes.
+        Per storage: the entry indices at which a liveness tenant is
+        *defined* (writes there are legal re-activations) and the
+        indices after which the storage expires (poison + mark free).
+        Pinned buffers (outputs, rng, view bases) never expire.
+        """
+        plan = self.plan
+        storages: Dict[int, np.ndarray] = {}
+        allowed: Dict[int, set] = {}
+        expiry: Dict[int, List[np.ndarray]] = {}
+        poisonable: set = set()
+        for bid in plan.first:
+            phys = plan.physical(bid)
+            sid = id(phys)
+            storages[sid] = phys
+            allowed.setdefault(sid, set()).add(plan.first[bid])
+            if bid not in plan.pinned:
+                expiry.setdefault(plan.last[bid], []).append(phys)
+                poisonable.add(sid)
+
+        def rooted(parts) -> frozenset:
+            found = set()
+
+            def visit(a):
+                base = a
+                while isinstance(base.base, np.ndarray):
+                    base = base.base
+                if id(base) in storages:
+                    found.add(id(base))
+            _walk_arrays(parts, visit)
+            return frozenset(found)
+
+        reads: List[frozenset] = []
+        writes: List[frozenset] = []
+        for entry in plan.post_entries:
+            r, w = _entry_refs(entry)
+            reads.append(rooted(r))
+            writes.append(rooted(w))
+        # Unfused closures: exact per-entry indices (fusion is dispatch
+        # coalescing only, so op-for-op replay is bitwise identical).
+        ops = [_make_closure(e) for e in plan.post_entries]
+        self._san = (ops, reads, writes, allowed, expiry,
+                     frozenset(poisonable), storages)
+        return self._san
+
+    def _trap(self, kind: str, index: int) -> "TapeSanitizerError":
+        entry = self.plan.post_entries[index]
+        fn = entry[1] if entry[0] in ("k", "a", "ip") else entry[0]
+        name = getattr(fn, "__name__", str(fn))
+        origin = (self.plan.origins[index] if self.plan.origins
+                  else "unknown (record with REPRO_NN_SANITIZE=1 for "
+                       "origin lines)")
+        return TapeSanitizerError(
+            f"tape {self.label!r}: {kind} at op {index} "
+            f"({entry[0]}:{name}), recorded at {origin}")
+
+    def _replay_sanitized(self) -> None:
+        san = self._san or self._build_sanitizer()
+        ops, reads, writes, allowed, expiry, poisonable, storages = san
+        free = set(poisonable)
+        for sid in free:
+            _pool.poison(storages[sid])
+        for i, op in enumerate(ops):
+            if reads[i] & free:
+                raise self._trap("read-of-poison", i)
+            for sid in writes[i] & free:
+                if i not in allowed.get(sid, ()):
+                    raise self._trap("write-after-release", i)
+                free.discard(sid)
+            op()
+            for phys in expiry.get(i, ()):
+                _pool.poison(phys)
+                free.add(id(phys))
 
 
 # ----------------------------------------------------------------------
@@ -638,7 +925,8 @@ class CompiledStep:
                 outs, scalar = self._finish(self.fn(*args))
         finally:
             entries = RECORDER.end()
-        tape = Tape(entries, RECORDER.owned, outs, scalar)
+        tape = Tape(entries, RECORDER.owned, outs, scalar,
+                    origins=RECORDER.origins, label=self.label)
         _donate_surplus(tape)
         if len(self._tapes) >= _MAX_TAPES:
             self._tapes.pop(next(iter(self._tapes)))
@@ -793,7 +1081,8 @@ class CompiledInfer:
                 outs, scalar = self._finish(self.fn(*bound))
         finally:
             entries = RECORDER.end()
-        tape = Tape(entries, RECORDER.owned, outs, scalar)
+        tape = Tape(entries, RECORDER.owned, outs, scalar,
+                    binds=binds, origins=RECORDER.origins, label=self.label)
         _donate_surplus(tape)
         if len(self._tapes) >= _MAX_TAPES:
             self._tapes.pop(next(iter(self._tapes)))

@@ -105,6 +105,52 @@ class TestSuppressions:
         assert [f.rule_id for f in findings] == ["parse-error"]
 
 
+class TestUnusedSuppressions:
+    BAD_LINE = "values = values + np.random.rand(3)"
+
+    def test_used_suppression_is_not_flagged(self):
+        text = (f"import numpy as np\n"
+                f"{self.BAD_LINE}  # repro: ignore[determinism]\n")
+        assert check_source(text, report_unused=True) == []
+
+    def test_dead_line_suppression_is_flagged(self):
+        text = ("import numpy as np\n"
+                "values = 1  # repro: ignore[determinism]\n")
+        findings = check_source(text, report_unused=True)
+        assert [f.rule_id for f in findings] == ["unused-suppression"]
+        assert findings[0].line == 2
+        assert "determinism" in findings[0].message
+
+    def test_dead_blanket_suppression_is_flagged(self):
+        text = "values = 1  # repro: ignore\n"
+        findings = check_source(text, report_unused=True)
+        assert [f.rule_id for f in findings] == ["unused-suppression"]
+
+    def test_dead_file_wide_suppression_is_flagged(self):
+        text = ("# repro: ignore-file[shm-hygiene]\n"
+                "values = 1\n")
+        findings = check_source(text, report_unused=True)
+        assert [f.rule_id for f in findings] == ["unused-suppression"]
+        assert findings[0].line == 1
+        assert "file-wide" in findings[0].message
+
+    def test_unknown_rule_id_is_called_out(self):
+        text = "values = 1  # repro: ignore[no-such-rule]\n"
+        findings = check_source(text, report_unused=True)
+        assert len(findings) == 1
+        assert "no such rule" in findings[0].message
+
+    def test_suppression_inside_string_is_ignored(self):
+        # Suppression syntax in a string literal is documentation, not
+        # a suppression: it must neither suppress nor count as unused.
+        text = 'MESSAGE = "# repro: ignore[determinism]"\n'
+        assert check_source(text, report_unused=True) == []
+
+    def test_report_unused_defaults_off(self):
+        text = "values = 1  # repro: ignore[determinism]\n"
+        assert check_source(text) == []
+
+
 class TestBaseline:
     def bad_findings(self):
         return check_source(read_fixture("determinism_bad.py"),
@@ -116,14 +162,24 @@ class TestBaseline:
         save_baseline(path, findings)
         baseline = load_baseline(path)
         assert baseline == baseline_counts(findings)
-        new, old = apply_baseline(findings, baseline)
-        assert new == [] and old == findings
+        new, old, stale = apply_baseline(findings, baseline)
+        assert new == [] and old == findings and stale == {}
 
     def test_budget_is_per_fingerprint_count(self):
         finding = self.bad_findings()[0]
         twice = [finding, finding]
-        new, old = apply_baseline(twice, baseline_counts([finding]))
+        new, old, stale = apply_baseline(twice, baseline_counts([finding]))
         assert len(old) == 1 and len(new) == 1  # budget of 1 consumed
+        assert stale == {}
+
+    def test_stale_entries_are_reported(self):
+        findings = self.bad_findings()
+        baseline = baseline_counts(findings)
+        # The violations get fixed but the baseline keeps the debt:
+        # the unconsumed budget surfaces as stale entries.
+        new, old, stale = apply_baseline([], baseline)
+        assert new == [] and old == []
+        assert stale == baseline
 
     def test_fingerprint_survives_line_moves(self):
         shifted = "# a new comment pushing lines down\n\n" + \
@@ -145,9 +201,11 @@ class TestWalker:
 
     def test_repo_lints_clean(self):
         """The CI invariant itself: src/ and tests/ carry zero
-        non-baselined findings (the committed baseline is empty)."""
+        non-baselined findings (the committed baseline is empty) and
+        zero dead suppression comments."""
         findings = check_paths([os.path.join(REPO_ROOT, "src"),
-                                os.path.join(REPO_ROOT, "tests")])
+                                os.path.join(REPO_ROOT, "tests")],
+                               report_unused=True)
         assert findings == [], [f.format() for f in findings]
 
 
@@ -196,6 +254,52 @@ class TestCli:
     def test_select_unknown_rule_is_usage_error(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["--select", "no-such-rule", str(tmp_path)])
+
+    def test_github_format_emits_annotations(self, tmp_path, capsys):
+        target = self.write_bad(tmp_path)
+        code = main(["--no-baseline", "--format=github", str(target)])
+        out = capsys.readouterr().out
+        assert code == 1
+        line = next(ln for ln in out.splitlines() if ln.startswith("::"))
+        assert line.startswith("::error file=")
+        assert "title=repro.analysis[determinism]" in line
+
+    def test_github_format_clean_run_is_silent(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("import numpy as np\n", encoding="utf-8")
+        assert main(["--no-baseline", "--format=github", str(target)]) == 0
+        assert "::error" not in capsys.readouterr().out
+
+    def test_stale_baseline_is_flagged(self, tmp_path, capsys):
+        target = self.write_bad(tmp_path)
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["--update-baseline", "--baseline", baseline,
+                     str(target)]) == 0
+        # Fix the violation; the recorded debt is now stale.
+        target.write_text("import numpy as np\n", encoding="utf-8")
+        capsys.readouterr()
+        code = main(["--baseline", baseline, "--format=json", str(target)])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0  # stale debt warns, it does not gate
+        assert report["summary"]["stale_baseline"] == 1
+        assert len(report["stale_baseline"]) == 1
+
+    def test_dead_suppression_fails_run(self, tmp_path, capsys):
+        target = tmp_path / "dead.py"
+        target.write_text("values = 1  # repro: ignore[determinism]\n",
+                          encoding="utf-8")
+        code = main(["--no-baseline", str(target)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[unused-suppression]" in out
+
+    def test_select_disables_unused_suppression_scan(self, tmp_path):
+        # A narrowed rule set must not flag other rules' suppressions.
+        target = tmp_path / "dead.py"
+        target.write_text("values = 1  # repro: ignore[determinism]\n",
+                          encoding="utf-8")
+        assert main(["--no-baseline", "--select", "shm-hygiene",
+                     str(target)]) == 0
 
 
 class TestGraphChecker:
