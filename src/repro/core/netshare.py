@@ -32,7 +32,7 @@ import numpy as np
 from ..datasets.records import FlowTrace, PacketTrace
 from ..datasets.profiles import load_dataset
 from ..gan.doppelganger import DgConfig, DoppelGANger, TrainingLog
-from ..nn.tape import bucket_size
+from ..nn import bucket_size
 from ..privacy.accountant import RdpAccountant
 from ..privacy.dpsgd import DpSgdConfig
 from ..runtime import get_executor
@@ -54,7 +54,7 @@ from .ip2vec import IP2Vec, five_tuple_sentences
 from .preprocess import chunk_flows, split_into_flows, time_range
 from .postprocess import finalize_flow_trace, finalize_packet_trace
 
-__all__ = ["NetShareConfig", "NetShare"]
+__all__ = ["NetShareConfig", "NetShare", "GenerateSession"]
 
 
 @dataclass
@@ -459,38 +459,16 @@ class NetShare:
         ``backend`` default to the fitted config's values, and results
         are bit-identical across backends because every task's seeds
         derive from ``(seed, retry round, chunk index)``.
+
+        The round loop itself lives in :class:`GenerateSession`; this
+        method drives one session to completion on its own executor.
+        Callers that pool many requests onto one executor (the
+        ``repro.serve`` daemon) drive sessions directly and get
+        bit-identical output, because a session's tasks and seeds never
+        depend on what else shares the batch.
         """
-        if self._encoder is None or not self._chunks:
-            raise RuntimeError("NetShare is not fitted; call fit() first")
-        if n_records < 1:
-            raise ValueError("must generate at least one record")
+        session = GenerateSession(self, n_records, seed=seed)
         cfg = self.config
-        base_seed = int(cfg.seed if seed is None else seed)
-        rng = np.random.default_rng(base_seed)
-        total_records = sum(c.n_records for c in self._chunks)
-        gan_config = self._gan_config(self._encoder)
-        # Frozen once per call: every task (across chunks and retry
-        # rounds) shares the same pre-pickled encoder/model blobs.
-        encoder_state = freeze_state(self._encoder.state_dict())
-        model_states = {c.index: freeze_state(c.model.state_dict())
-                        for c in self._chunks}
-        pieces = []
-        produced = 0
-        # Flows emit a variable number of records (generation flags), so
-        # top up over a few passes until the target count is reached.
-        # The records-per-flow estimate starts from the real data and is
-        # recalibrated from what the generator actually emits.
-        rpf_estimate = {
-            c.index: min(max(c.n_records / c.n_flows, 1.0),
-                         float(cfg.max_timesteps))
-            for c in self._chunks
-        }
-        shortfall = n_records
-        # Per-round accept/reject diagnostics: kept unconditionally (it
-        # is a handful of dicts) so the exhaustion error below can say
-        # *what happened each round*, and journaled as generate_round
-        # events when telemetry is on.
-        rounds_log: List[Dict[str, float]] = []
         wall_start = time.perf_counter()
         with get_executor(cfg.jobs if jobs is None else jobs,
                           cfg.backend if backend is None else backend
@@ -502,82 +480,182 @@ class NetShare:
                        backend=executor.name, jobs=executor.jobs,
                        target=n_records, chunks=len(self._chunks))
             if arena is not None:
-                encoder_state = freeze_state(encoder_state, arena)
-                model_states = {i: freeze_state(s, arena)
-                                for i, s in model_states.items()}
-            for round_index in range(8):
-                round_start = time.perf_counter()
-                tasks = []
-                for chunk in self._chunks:
-                    share = chunk.n_records / total_records
-                    # Bucketed task sizes: bucket values are fixed
-                    # points of the sampler's own padding, so every
-                    # round and chunk with a similar shortfall hits
-                    # the same warm inference tape in its worker
-                    # instead of recording a new one.
-                    n_flows = bucket_size(max(1, int(np.ceil(
-                        shortfall * share / rpf_estimate[chunk.index] * 1.1))))
-                    sample_seed, decode_seed = self._generate_seeds(
-                        base_seed, round_index, chunk.index)
-                    tasks.append(GenerateTask(
-                        chunk_index=chunk.index, gan_config=gan_config,
-                        model_state=model_states[chunk.index],
-                        encoder_state=encoder_state, window=chunk.window,
-                        n_flows=n_flows, sample_seed=sample_seed,
-                        decode_seed=decode_seed,
-                    ))
-                accepted = 0
-                round_records = 0
-                for piece in executor.map_tasks(generate_chunk, tasks):
-                    # A degenerate model can emit flows whose every
-                    # timestep is inactive; the task reports those as
-                    # trace=None so an empty piece never poisons the
-                    # concatenate below.
-                    if piece.trace is None:
-                        continue
-                    accepted += 1
-                    round_records += len(piece.trace)
-                    pieces.append(piece.trace)
-                    produced += len(piece.trace)
-                    rpf_estimate[piece.chunk_index] = max(
-                        len(piece.trace) / piece.n_flows, 1.0)
-                shortfall = n_records - produced
-                round_seconds = time.perf_counter() - round_start
-                rounds_log.append({
-                    "round": round_index, "tasks": len(tasks),
-                    "accepted": accepted,
-                    "rejected": len(tasks) - accepted,
-                    "records": round_records, "shortfall": max(shortfall, 0),
-                    "seconds": round(round_seconds, 6),
-                    "samples_per_sec": round(
-                        round_records / round_seconds, 2)
-                    if round_seconds > 0 else 0.0,
-                })
-                emit_event("generate_round", **rounds_log[-1])
-                if shortfall <= 0:
-                    break
+                session.stage(arena)
+            while not session.done:
+                tasks = session.plan_round()
+                session.consume_round(
+                    executor.map_tasks(generate_chunk, tasks))
             self.generate_wall_seconds = time.perf_counter() - wall_start
             self.generate_dispatch_bytes = executor.dispatch_bytes
         emit_event("generate_end", model="netshare",
                    wall_seconds=self.generate_wall_seconds,
-                   records=produced, rounds=len(rounds_log))
-        if not pieces:
+                   records=session.produced,
+                   rounds=len(session.rounds_log))
+        return session.finish()
+
+
+class GenerateSession:
+    """Resumable plan/consume state machine for one ``generate`` call.
+
+    One session owns everything :meth:`NetShare.generate` used to keep
+    as loop-local state: the frozen encoder/model blobs, the
+    records-per-flow estimates, the produced pieces, and the per-round
+    accept/reject log.  Each round, :meth:`plan_round` emits the
+    :class:`~repro.runtime.chunk_tasks.GenerateTask` list for the
+    current shortfall and :meth:`consume_round` folds the results back
+    in — *who* executes the tasks (a private executor, a shared daemon
+    pool, interleaved with other sessions' tasks) is invisible to the
+    session, because every task's seeds derive from
+    ``(seed, round, chunk index)`` and every size is pre-bucketed by
+    :func:`repro.nn.bucket_size`.  That is the serving-layer contract:
+    a coalesced request is bit-identical to an offline
+    ``NetShare.generate`` with the same seed.
+    """
+
+    #: Top-up rounds before a session gives up (matches the historical
+    #: ``generate`` retry cap).
+    MAX_ROUNDS = 8
+
+    def __init__(self, model: NetShare, n_records: int,
+                 seed: Optional[int] = None, *,
+                 encoder_state=None, model_states=None):
+        if model._encoder is None or not model._chunks:
+            raise RuntimeError("NetShare is not fitted; call fit() first")
+        if n_records < 1:
+            raise ValueError("must generate at least one record")
+        self.model = model
+        self.n_records = int(n_records)
+        cfg = model.config
+        self.base_seed = int(cfg.seed if seed is None else seed)
+        self._rng = np.random.default_rng(self.base_seed)
+        self._gan_config = model._gan_config(model._encoder)
+        self._total_records = sum(c.n_records for c in model._chunks)
+        # Frozen once per session: every task (across chunks and retry
+        # rounds) shares the same pre-pickled encoder/model blobs.
+        # Callers with a hot registry (repro.serve) pass pre-frozen
+        # handles in, skipping even the once-per-call pickling.
+        self.encoder_state = (freeze_state(model._encoder.state_dict())
+                              if encoder_state is None else encoder_state)
+        self.model_states = (dict(model_states)
+                             if model_states is not None else
+                             {c.index: freeze_state(c.model.state_dict())
+                              for c in model._chunks})
+        # Flows emit a variable number of records (generation flags),
+        # so sessions top up over a few rounds until the target count
+        # is reached.  The records-per-flow estimate starts from the
+        # real data and is recalibrated from what the generator emits.
+        self._rpf_estimate = {
+            c.index: min(max(c.n_records / c.n_flows, 1.0),
+                         float(cfg.max_timesteps))
+            for c in model._chunks
+        }
+        self.pieces: List = []
+        self.produced = 0
+        self.round_index = 0
+        # Per-round accept/reject diagnostics: kept unconditionally (a
+        # handful of dicts) so the exhaustion error in finish() can say
+        # *what happened each round*, and journaled as generate_round
+        # events when telemetry is on.
+        self.rounds_log: List[Dict[str, float]] = []
+        self._round_start: Optional[float] = None
+
+    @property
+    def shortfall(self) -> int:
+        return self.n_records - self.produced
+
+    @property
+    def done(self) -> bool:
+        """True once the target is met or the retry budget is spent."""
+        return self.shortfall <= 0 or self.round_index >= self.MAX_ROUNDS
+
+    def stage(self, arena) -> None:
+        """Re-freeze the session's blobs into a SharedArena so tasks
+        dispatch manifests instead of pickled bytes (shm backend)."""
+        self.encoder_state = freeze_state(self.encoder_state, arena)
+        self.model_states = {i: freeze_state(s, arena)
+                             for i, s in self.model_states.items()}
+
+    def plan_round(self) -> List[GenerateTask]:
+        """Build this round's per-chunk tasks for the current shortfall
+        (empty once the session is done)."""
+        if self.done:
+            return []
+        self._round_start = time.perf_counter()
+        tasks = []
+        for chunk in self.model._chunks:
+            share = chunk.n_records / self._total_records
+            # Bucketed task sizes: bucket values are fixed points of
+            # the sampler's own padding, so every round and chunk with
+            # a similar shortfall hits the same warm inference tape in
+            # its worker instead of recording a new one.
+            n_flows = bucket_size(max(1, int(np.ceil(
+                self.shortfall * share
+                / self._rpf_estimate[chunk.index] * 1.1))))
+            sample_seed, decode_seed = NetShare._generate_seeds(
+                self.base_seed, self.round_index, chunk.index)
+            tasks.append(GenerateTask(
+                chunk_index=chunk.index, gan_config=self._gan_config,
+                model_state=self.model_states[chunk.index],
+                encoder_state=self.encoder_state, window=chunk.window,
+                n_flows=n_flows, sample_seed=sample_seed,
+                decode_seed=decode_seed,
+            ))
+        return tasks
+
+    def consume_round(self, results) -> None:
+        """Fold one round's :class:`~repro.runtime.chunk_tasks.
+        GeneratePiece` results (in task order) back into the session."""
+        accepted = 0
+        round_records = 0
+        n_tasks = 0
+        for piece in results:
+            n_tasks += 1
+            # A degenerate model can emit flows whose every timestep is
+            # inactive; the task reports those as trace=None so an
+            # empty piece never poisons the concatenate in finish().
+            if piece.trace is None:
+                continue
+            accepted += 1
+            round_records += len(piece.trace)
+            self.pieces.append(piece.trace)
+            self.produced += len(piece.trace)
+            self._rpf_estimate[piece.chunk_index] = max(
+                len(piece.trace) / piece.n_flows, 1.0)
+        round_seconds = (time.perf_counter() - self._round_start
+                         if self._round_start is not None else 0.0)
+        self.rounds_log.append({
+            "round": self.round_index, "tasks": n_tasks,
+            "accepted": accepted,
+            "rejected": n_tasks - accepted,
+            "records": round_records,
+            "shortfall": max(self.n_records - self.produced, 0),
+            "seconds": round(round_seconds, 6),
+            "samples_per_sec": round(round_records / round_seconds, 2)
+            if round_seconds > 0 else 0.0,
+        })
+        emit_event("generate_round", **self.rounds_log[-1])
+        self.round_index += 1
+
+    def finish(self):
+        """Concatenate, post-process, and trim the session's output."""
+        if not self.pieces:
             per_round = "; ".join(
                 f"round {entry['round']}: {entry['accepted']}/{entry['tasks']}"
                 " chunks accepted, "
                 f"{entry['rejected']} rejected, +{entry['records']} records"
-                for entry in rounds_log)
+                for entry in self.rounds_log)
             raise RuntimeError(
                 "generation produced no records after "
-                f"{len(rounds_log)} rounds: every chunk model decoded to an "
-                f"empty trace (degenerate generator?) [{per_round}]; "
+                f"{len(self.rounds_log)} rounds: every chunk model decoded "
+                f"to an empty trace (degenerate generator?) [{per_round}]; "
                 "retrain with more epochs or a different seed")
-        trace = type(pieces[0]).concatenate(pieces)
+        trace = type(self.pieces[0]).concatenate(self.pieces)
         if isinstance(trace, PacketTrace):
-            trace = finalize_packet_trace(trace, rng=rng)
+            trace = finalize_packet_trace(trace, rng=self._rng)
         else:
             trace = finalize_flow_trace(trace)
-        if len(trace) > n_records:
-            keep = np.sort(rng.choice(len(trace), size=n_records, replace=False))
+        if len(trace) > self.n_records:
+            keep = np.sort(self._rng.choice(
+                len(trace), size=self.n_records, replace=False))
             trace = trace.subset(keep)
         return trace

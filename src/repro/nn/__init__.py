@@ -4,6 +4,15 @@ The original NetShare was built on TensorFlow 1.15; this package provides
 the equivalent primitives needed by the GAN stack and classifier suite:
 tensors with reverse-mode autodiff (including gradients-of-gradients for
 the WGAN-GP penalty), dense/GRU layers, losses, and Adam/SGD optimizers.
+
+:func:`bucket_size` is part of the public API on purpose: it defines
+the warm-tape batch grid that compiled inference records on (next
+power of two up to 256, then multiples of 256; bucket values are fixed
+points).  Every layer that sizes a sampling batch —
+``NetShare.generate`` task sizing, the samplers' own padding, and the
+``repro.serve`` request coalescer — must round through this one
+function, so similar request sizes provably collapse onto the same
+recorded tape.
 """
 
 from .autograd import (

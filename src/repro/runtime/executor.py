@@ -53,6 +53,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import threading
 import time
 import weakref
 from abc import ABC, abstractmethod
@@ -251,6 +252,14 @@ class _WorkerPool:
         self._ctx = ctx
         self.max_workers = max_workers
         self._workers: List[_WorkerHandle] = []
+        self._closed = False
+        # Set while no run() is active: close(drain=True) waits on it
+        # so a shutdown requested from another thread (the repro.serve
+        # daemon's SIGTERM path) never terminates a worker mid-task —
+        # in particular never while it is still reading a SharedArena
+        # block the caller would then unlink.
+        self._idle = threading.Event()
+        self._idle.set()
 
     @property
     def worker_pids(self) -> List[int]:
@@ -280,6 +289,16 @@ class _WorkerPool:
     def run(self, fn: Callable[[Any], Any], tasks: Sequence[Any],
             workers: int, telem: bool) -> List[Any]:
         """Dispatch every task, in task order, over ``workers`` pipes."""
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        self._idle.clear()
+        try:
+            return self._run(fn, tasks, workers, telem)
+        finally:
+            self._idle.set()
+
+    def _run(self, fn: Callable[[Any], Any], tasks: Sequence[Any],
+             workers: int, telem: bool) -> List[Any]:
         results: List[Any] = [None] * len(tasks)
         pending: Deque[Tuple[int, Any]] = deque(enumerate(tasks))
         attempts: Dict[int, int] = {}
@@ -361,7 +380,26 @@ class _WorkerPool:
                 "worker_retry", task=index, attempt=attempt,
                 pid=worker.process.pid)
 
-    def close(self) -> None:
+    #: How long close(drain=True) waits for an in-flight run() before
+    #: shutting workers down anyway (a backstop, not a contract: the
+    #: remaining batch is then interrupted mid-task).
+    DRAIN_TIMEOUT = 60.0
+
+    def close(self, drain: bool = True,
+              timeout: Optional[float] = None) -> None:
+        """Shut the pool down (idempotent).
+
+        With ``drain`` (the default), waits for any in-flight
+        :meth:`run` — typically on another thread — to finish first,
+        so workers are never terminated while holding task state or
+        reading shared-memory blocks their caller is about to unlink.
+        """
+        if self._closed:
+            return
+        if drain:
+            self._idle.wait(self.DRAIN_TIMEOUT if timeout is None
+                            else timeout)
+        self._closed = True
         _close_pool(self._workers)
 
 

@@ -1,0 +1,173 @@
+"""Client helper for the ``repro.serve`` daemon.
+
+:class:`ServeClient` speaks the line-delimited-JSON protocol over a
+persistent connection, decodes trace payloads back into the columnar
+dataclasses, and honours the daemon's admission control: an
+``overloaded`` response carries ``retry_after`` seconds, and the
+client sleeps exactly that long before retrying (bounded by
+``max_retries``), so a fleet of well-behaved clients converges to the
+daemon's sustainable rate instead of hammering a full queue.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional, Union
+
+from ..datasets.records import FlowTrace, PacketTrace
+from .protocol import (
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    ProtocolError,
+    encode_message,
+    payload_to_trace,
+    read_message,
+)
+
+__all__ = ["ServeClient", "ServeError", "ServeOverloadedError"]
+
+
+class ServeError(RuntimeError):
+    """The daemon answered ``error`` (or the connection broke)."""
+
+
+class ServeOverloadedError(ServeError):
+    """Admission control rejected the request ``max_retries`` times."""
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """A persistent connection to one daemon.
+
+    ``client_id`` namespaces every request's seed on the daemon side
+    (see :func:`~repro.serve.protocol.derive_client_seed`): two clients
+    with different ids and the same seed get independent traces; the
+    same id + seed always gets the same trace back.
+    """
+
+    def __init__(self, host: str, port: int, client_id: str = "",
+                 timeout: float = 120.0, max_retries: int = 4):
+        self.host = host
+        self.port = int(port)
+        self.client_id = str(client_id)
+        self.timeout = float(timeout)
+        self.max_retries = int(max_retries)
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._wfile = None
+        #: Full response dict of the last successful request (metadata
+        #: like ``derived_seed`` / ``model_generation`` lives here).
+        self.last_response: Optional[Dict[str, Any]] = None
+
+    # -- connection management -----------------------------------------
+    def _connect(self) -> None:
+        self.close()
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._wfile = sock.makefile("wb")
+
+    def close(self) -> None:
+        for stream in (self._rfile, self._wfile):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._rfile = None
+        self._wfile = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- request plumbing ----------------------------------------------
+    def _request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One round trip; reconnects once on a dead connection."""
+        frame = encode_message(message)
+        for attempt in (0, 1):
+            if self._sock is None:
+                self._connect()
+            try:
+                self._wfile.write(frame)
+                self._wfile.flush()
+                response = read_message(self._rfile)
+            except (BrokenPipeError, ConnectionError, OSError,
+                    ProtocolError):
+                self.close()
+                if attempt:
+                    raise
+                continue
+            if response is None:
+                # Daemon closed mid-request (e.g. restarting): retry
+                # once on a fresh connection.
+                self.close()
+                if attempt:
+                    raise ServeError("connection closed by daemon")
+                continue
+            return response
+        raise ServeError("connection closed by daemon")
+
+    def _checked(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Round trip with overloaded-retry and error raising."""
+        retry_after = 0.0
+        for _ in range(self.max_retries + 1):
+            response = self._request(message)
+            status = response.get("status")
+            if status == STATUS_OK:
+                self.last_response = response
+                return response
+            if status == STATUS_OVERLOADED:
+                retry_after = float(response.get("retry_after", 0.1))
+                time.sleep(retry_after)
+                continue
+            raise ServeError(response.get("message", f"status={status!r}"))
+        raise ServeOverloadedError(
+            f"daemon still overloaded after {self.max_retries} retries",
+            retry_after)
+
+    # -- public operations ---------------------------------------------
+    def generate(self, n_records: int, model: str,
+                 seed: int = 0) -> Union[FlowTrace, PacketTrace]:
+        """Request ``n_records`` synthetic records from ``model``.
+
+        Bit-identical to offline
+        ``NetShare.generate(n_records,
+        seed=derive_client_seed(client_id, seed))`` on the same
+        archive — the response metadata (``derived_seed``,
+        ``model_generation``, ``rounds``) is kept on
+        :attr:`last_response`.
+        """
+        response = self._checked({
+            "op": "generate",
+            "model": str(model),
+            "n_records": int(n_records),
+            "seed": int(seed),
+            "client_id": self.client_id,
+        })
+        payload = response.get("trace")
+        if payload is None:
+            raise ServeError("ok response carried no trace payload")
+        return payload_to_trace(payload)
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._checked({"op": "metrics"})
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._checked({"op": "healthz"})
+
+    def models(self) -> Dict[str, Any]:
+        return self._checked({"op": "models"})

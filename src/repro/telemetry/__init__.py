@@ -46,6 +46,7 @@ from .metrics import (
     MetricsRegistry,
     NULL_REGISTRY,
     NullRegistry,
+    metrics_snapshot,
 )
 from .spans import Span, span, set_task
 from .state import STATE, TelemetryState
@@ -70,6 +71,7 @@ __all__ = [
     "session",
     "enabled",
     "metrics",
+    "metrics_snapshot",
     "emit_event",
     "begin_worker_task",
     "export_worker_payload",

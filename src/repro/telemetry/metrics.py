@@ -14,7 +14,7 @@ attribute lookups and no allocation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "Counter",
@@ -24,6 +24,7 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "DEFAULT_BUCKETS",
+    "metrics_snapshot",
 ]
 
 #: Default histogram buckets (seconds): spans from sub-millisecond
@@ -183,6 +184,44 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+
+
+def _histogram_stats(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Render one raw histogram dump as count/mean/percentile stats."""
+    hist = Histogram(data["buckets"])
+    hist.counts = [int(n) for n in data["counts"]]
+    hist.total = float(data["sum"])
+    hist.count = int(data["count"])
+    return {
+        "count": hist.count,
+        "mean": hist.mean,
+        "p50": hist.percentile(50),
+        "p90": hist.percentile(90),
+        "p99": hist.percentile(99),
+    }
+
+
+def metrics_snapshot(source: Union["MetricsRegistry", Dict[str, dict]]
+                     ) -> Dict[str, Any]:
+    """The canonical JSON rendering of a metrics state.
+
+    ``source`` is either a live :class:`MetricsRegistry` or a raw
+    :meth:`MetricsRegistry.snapshot` dict (e.g. the final ``metrics``
+    journal event).  Counters and gauges come back name-sorted and
+    histograms as bucket-bound percentile stats — the one format shared
+    by ``python -m repro.telemetry report`` and the ``repro.serve``
+    daemon's ``metrics`` response, so dashboards scrape a single shape.
+    """
+    if isinstance(source, MetricsRegistry):
+        source = source.snapshot()
+    return {
+        "counters": dict(sorted((source.get("counters") or {}).items())),
+        "gauges": dict(sorted((source.get("gauges") or {}).items())),
+        "histograms": {
+            name: _histogram_stats(data)
+            for name, data in sorted((source.get("histograms") or {}).items())
+        },
+    }
 
 
 class _NullCounter(Counter):

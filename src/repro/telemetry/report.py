@@ -14,7 +14,7 @@ import json
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from .journal import load_journal
-from .metrics import Histogram
+from .metrics import metrics_snapshot
 
 __all__ = ["summarize", "render_text", "report",
            "diff_summaries", "render_diff_text", "diff_report"]
@@ -26,20 +26,6 @@ def _walk_spans(node: Dict[str, Any], path: str = ""
     yield here, node
     for child in node.get("children", ()):
         yield from _walk_spans(child, here)
-
-
-def _histogram_stats(data: Dict[str, Any]) -> Dict[str, Any]:
-    hist = Histogram(data["buckets"])
-    hist.counts = [int(n) for n in data["counts"]]
-    hist.total = float(data["sum"])
-    hist.count = int(data["count"])
-    return {
-        "count": hist.count,
-        "mean": hist.mean,
-        "p50": hist.percentile(50),
-        "p90": hist.percentile(90),
-        "p99": hist.percentile(99),
-    }
 
 
 def summarize(meta: Dict[str, Any], events: List[Dict[str, Any]],
@@ -155,16 +141,9 @@ def summarize(meta: Dict[str, Any], events: List[Dict[str, Any]],
     # -- metrics snapshot ----------------------------------------------
     metric_events = [e for e in events if e.get("event") == "metrics"]
     if metric_events:
-        final = metric_events[-1]
-        summary["metrics"] = {
-            "counters": dict(sorted((final.get("counters") or {}).items())),
-            "gauges": dict(sorted((final.get("gauges") or {}).items())),
-            "histograms": {
-                name: _histogram_stats(data)
-                for name, data in sorted(
-                    (final.get("histograms") or {}).items())
-            },
-        }
+        # Shared serializer: the serve daemon's `metrics` response and
+        # this report render the identical shape.
+        summary["metrics"] = metrics_snapshot(metric_events[-1])
     return summary
 
 

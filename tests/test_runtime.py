@@ -369,3 +369,55 @@ class TestEpochParallelBaseline:
         assert model.train_seconds > 0
         syn = model.generate(40, seed=1)
         assert len(syn) == 40
+
+
+def _slow_square(x):
+    """Module-level so the pool can pickle it; slow enough that a
+    concurrent close() provably overlaps the in-flight run."""
+    import time as _time
+    _time.sleep(0.25)
+    return x * x
+
+
+class TestWorkerPoolShutdown:
+    """Regression tests for the drain-aware, idempotent pool close the
+    repro.serve SIGTERM path depends on: a shutdown from another thread
+    must never terminate workers mid-map (they could be reading a
+    SharedArena block the caller is about to unlink)."""
+
+    def test_close_is_idempotent_and_seals_the_pool(self):
+        executor = MultiprocessingExecutor(2)
+        assert executor.map_tasks(_square, [1, 2, 3]) == [1, 4, 9]
+        pool = executor._pool
+        executor.close()
+        executor.close()  # second close is a no-op, not an error
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run(_square, [1, 2], 2, False)
+
+    def test_close_from_another_thread_drains_in_flight_map(self):
+        import threading
+        import time
+
+        executor = MultiprocessingExecutor(2)
+        # Warm the pool so map_tasks below goes through it.
+        assert executor.map_tasks(_square, [1, 2]) == [1, 4]
+        started = threading.Event()
+        outcome = {}
+
+        def mapper():
+            started.set()
+            outcome["results"] = executor.map_tasks(
+                _slow_square, list(range(4)))
+
+        thread = threading.Thread(target=mapper)
+        thread.start()
+        started.wait(5.0)
+        time.sleep(0.1)  # let the dispatch reach the workers
+        closed_at = time.monotonic()
+        executor.close()  # must block until the in-flight run finishes
+        close_seconds = time.monotonic() - closed_at
+        thread.join(timeout=30.0)
+        assert outcome["results"] == [x * x for x in range(4)]
+        # close() returned only after the (>= 0.25 s/task) map drained;
+        # allow generous slack for the 0.1 s head start.
+        assert close_seconds > 0.05
