@@ -54,6 +54,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_runtime.json"
 JOURNAL_DIR = REPO_ROOT / "BENCH_journal"
 
+# Single-machine backends only; the remote backend needs worker hosts
+# and has its own bench (benchmarks/test_remote_perf.py).
+LOCAL_BACKENDS = tuple(b for b in BACKENDS if b != "remote")
+
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE", "").strip())
 RECORDS = 240 if SMOKE else 600
 N_CHUNKS = 4 if SMOKE else 5          # acceptance floor: >= 4 chunks
@@ -470,7 +474,7 @@ def bench():
         }
 
         models = {}
-        for backend in BACKENDS:
+        for backend in LOCAL_BACKENDS:
             jobs = 1 if backend == "serial" else JOBS
             model = NetShare(_config(backend, jobs)).fit(trace)
             models[backend] = model
@@ -658,7 +662,7 @@ class TestRuntimePerf:
         assert set(data) >= {"config", "cpus", "fit", "generate", "summary",
                              "telemetry", "alloc", "tape", "tape_check",
                              "infer"}
-        assert set(data["fit"]) == set(BACKENDS)
+        assert set(data["fit"]) == set(LOCAL_BACKENDS)
         for entry in data["fit"].values():
             assert entry["dispatch_bytes"] > 0
             assert entry["dispatch_tasks"] >= N_CHUNKS - 1

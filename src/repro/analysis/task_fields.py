@@ -9,9 +9,17 @@ executor, an open arena) either fails to pickle at dispatch time on one
 backend only, or — worse — pickles but carries state that breaks the
 bit-identical contract (e.g. an ``np.random.Generator`` mid-stream).
 
+The same contract extends across machines: the remote executor's wire
+manifests (``@dataclass`` names ending in ``Manifest``, see
+:mod:`repro.runtime.serialization`) must pickle into a frame *and*
+hash stably — a manifest field that drags in a live object breaks
+content-addressed blob dedup, not just dispatch.  The rule therefore
+covers both suffixes.
+
 The check is a *field-type walk* over annotations of every
-``@dataclass`` whose name ends in ``Task`` (the dispatch convention of
-``repro.runtime.chunk_tasks``): container heads are recursed into,
+``@dataclass`` whose name ends in ``Task`` or ``Manifest`` (the
+dispatch conventions of ``repro.runtime.chunk_tasks`` and
+``repro.runtime.serialization``): container heads are recursed into,
 leaf type names must be on the allowlist, and names on the deny list
 get a targeted message.  Bare ``Any`` as a whole-field annotation is
 rejected as unverifiable; ``Any`` nested inside a container (e.g. the
@@ -46,6 +54,8 @@ ALLOWED_FIELD_TYPES = frozenset({
     "ArrayRef", "FrozenState", "SharedEncodedFlows", "EncodedFlows",
     "DgConfig", "DpSgdConfig", "RowGanConfig", "ColumnSpec",
     "TrainingLog",
+    # the remote executor's wire manifests (hash-stable by contract)
+    "BlobManifest", "ArrayManifest", "StateManifest", "EncodedManifest",
 })
 
 #: Known-stateful/unpicklable types, with an explanation each.
@@ -66,16 +76,17 @@ DENIED_FIELD_TYPES = {
 
 
 def _is_task_dataclass(node: ast.ClassDef) -> bool:
-    return (node.name.endswith("Task")
+    return (node.name.endswith(("Task", "Manifest"))
             and "dataclass" in decorator_names(node))
 
 
 class TaskStatelessnessRule(Rule):
     rule_id = "task-statelessness"
     description = (
-        "@dataclass *Task fields must be picklable data (primitives, "
-        "ndarray, ArrayRef/FrozenState, config dataclasses) — no live "
-        "objects, callables, or RNG state"
+        "@dataclass *Task and *Manifest fields must be picklable, "
+        "hash-stable data (primitives, ndarray, ArrayRef/FrozenState, "
+        "Blob/Array/State/EncodedManifest, config dataclasses) — no "
+        "live objects, callables, or RNG state"
     )
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:

@@ -85,6 +85,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="executor backend (default: REPRO_BACKEND env "
                         "var, then picked from --jobs; 'shm' dispatches "
                         "tensors through zero-copy shared memory)")
+    p.add_argument("--hosts", default=None, metavar="HOST:PORT,...",
+                   help="remote worker hosts (default: REPRO_HOSTS env "
+                        "var); implies --backend remote")
     p.add_argument("--save-model", default=None, metavar="PATH",
                    help="persist the trained NetShare model to a .npz "
                         "archive (NetShare only)")
@@ -105,6 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=list(BACKENDS), default=None,
                    help="executor backend for sampling (output is "
                         "bit-identical across backends)")
+    p.add_argument("--hosts", default=None, metavar="HOST:PORT,...",
+                   help="remote worker hosts (default: REPRO_HOSTS env "
+                        "var); implies --backend remote")
     p.add_argument("--journal", default=None, metavar="DIR",
                    help="stream a telemetry run journal to DIR/<run-id>/")
 
@@ -160,7 +166,7 @@ def _run_synthesize(args) -> int:
         model = NetShare(NetShareConfig(
             n_chunks=args.chunks, epochs_seed=args.epochs,
             epochs_fine_tune=max(3, args.epochs // 3), seed=args.seed,
-            jobs=args.jobs, backend=args.backend,
+            jobs=args.jobs, backend=args.backend, hosts=args.hosts,
         ))
     else:
         if args.save_model:
@@ -196,7 +202,8 @@ def _cmd_generate(args) -> int:
 def _run_generate(args) -> int:
     model = NetShare.load(args.model)
     synthetic = model.generate(args.records, seed=args.seed,
-                               jobs=args.jobs, backend=args.backend)
+                               jobs=args.jobs, backend=args.backend,
+                               hosts=args.hosts)
     _write_trace(synthetic, args.output, model.kind)
     print(f"wrote {len(synthetic)} synthetic {model.kind} records "
           f"to {args.output}")

@@ -85,9 +85,14 @@ class NetShareConfig:
     # (None = REPRO_JOBS env var, then 1 = serial; 0 = one per CPU).
     jobs: Optional[int] = None
     # Executor backend: None (pick serial/multiprocessing from jobs),
-    # 'serial', 'multiprocessing', or 'shm' (zero-copy shared-memory
-    # dispatch); None also falls back to the REPRO_BACKEND env var.
+    # 'serial', 'multiprocessing', 'shm' (zero-copy shared-memory
+    # dispatch), or 'remote' (multi-host socket fan-out); None also
+    # falls back to the REPRO_BACKEND env var.
     backend: Optional[str] = None
+    # Worker hosts for the remote backend ('host:port,host:port'; None
+    # falls back to REPRO_HOSTS).  Setting hosts without a backend
+    # selects 'remote'.
+    hosts: Optional[str] = None
     # Differential privacy (Insight 4); None disables DP.
     dp: Optional[DpSgdConfig] = None
     dp_public_dataset: Optional[str] = None
@@ -224,7 +229,7 @@ class NetShare:
         # attach, and the arena unlinks every block on exit no matter
         # how training ends.  The executor's worker pool lives for the
         # same window (closed by the ``with``).
-        with get_executor(cfg.jobs, cfg.backend) as executor, \
+        with get_executor(cfg.jobs, cfg.backend, cfg.hosts) as executor, \
                 span("netshare.fit", backend=executor.name,
                      n_chunks=len(occupied)), \
                 maybe_arena(executor) as arena:
@@ -450,7 +455,8 @@ class NetShare:
 
     def generate(self, n_records: int, seed: Optional[int] = None,
                  jobs: Optional[int] = None,
-                 backend: Optional[str] = None):
+                 backend: Optional[str] = None,
+                 hosts: Optional[str] = None):
         """Generate a synthetic trace with roughly ``n_records`` records.
 
         Per-chunk sampling and decoding fan out as
@@ -471,7 +477,8 @@ class NetShare:
         cfg = self.config
         wall_start = time.perf_counter()
         with get_executor(cfg.jobs if jobs is None else jobs,
-                          cfg.backend if backend is None else backend
+                          cfg.backend if backend is None else backend,
+                          cfg.hosts if hosts is None else hosts
                           ) as executor, \
                 span("netshare.generate", backend=executor.name,
                      target=n_records), \

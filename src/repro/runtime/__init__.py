@@ -4,13 +4,21 @@ Work across the codebase — NetShare's per-chunk fine-tuning
 (Insight 3), per-chunk synthesis in ``NetShare.generate``, and the
 epoch-parallel tabular baselines — is expressed as stateless,
 picklable tasks mapped through one ``Executor.map_tasks()`` interface
-with interchangeable ``serial``, ``multiprocessing``, and ``shm``
-backends.  The ``shm`` backend feeds workers through the zero-copy
-shared-memory data plane in :mod:`repro.runtime.shm`: bulk tensors and
-frozen model states live in a :class:`~repro.runtime.shm.SharedArena`
-and tasks carry only tiny manifests.  See
-:mod:`repro.runtime.executor` for the determinism contract and
-:mod:`repro.runtime.chunk_tasks` for the task functions.
+with interchangeable ``serial``, ``multiprocessing``, ``shm``, and
+``remote`` backends.  The ``shm`` backend feeds workers through the
+zero-copy shared-memory data plane in :mod:`repro.runtime.shm`: bulk
+tensors and frozen model states live in a
+:class:`~repro.runtime.shm.SharedArena` and tasks carry only tiny
+manifests.  The ``remote`` backend (:mod:`repro.runtime.remote`)
+extends the same manifest idea across machines: a coordinator ships
+content-hash-deduplicated blobs to long-lived worker hosts
+(``python -m repro.runtime.remote_worker``) over length-prefixed
+socket frames.  See :mod:`repro.runtime.executor` for the determinism
+contract and :mod:`repro.runtime.chunk_tasks` for the task functions.
+
+The remote coordinator/host classes import lazily (``from
+repro.runtime import remote``) so the single-machine path never loads
+the socket layer.
 """
 
 from .executor import (
@@ -23,6 +31,7 @@ from .executor import (
     SerialExecutor,
     SharedMemoryExecutor,
     get_executor,
+    register_backend,
     resolve_backend,
     resolve_jobs,
 )
@@ -44,10 +53,17 @@ from .chunk_tasks import (
     train_rowgan,
 )
 from .serialization import (
+    ArrayManifest,
+    BlobManifest,
+    EncodedManifest,
+    StateManifest,
     flatten_state,
     load_state_npz,
+    manifest_hashes,
+    pack_tasks,
     save_state_npz,
     unflatten_state,
+    unpack_task,
 )
 from .shm import (
     ArrayRef,
@@ -70,6 +86,7 @@ __all__ = [
     "MultiprocessingExecutor",
     "SharedMemoryExecutor",
     "get_executor",
+    "register_backend",
     "resolve_jobs",
     "resolve_backend",
     "ChunkTask",
@@ -91,6 +108,13 @@ __all__ = [
     "unflatten_state",
     "save_state_npz",
     "load_state_npz",
+    "BlobManifest",
+    "ArrayManifest",
+    "StateManifest",
+    "EncodedManifest",
+    "pack_tasks",
+    "unpack_task",
+    "manifest_hashes",
     "ArrayRef",
     "SharedArena",
     "SharedEncodedFlows",

@@ -73,6 +73,7 @@ __all__ = [
     "resolve_jobs",
     "resolve_backend",
     "get_executor",
+    "register_backend",
     "JOBS_ENV_VAR",
     "BACKEND_ENV_VAR",
     "MEASURE_DISPATCH_ENV_VAR",
@@ -89,7 +90,10 @@ BACKEND_ENV_VAR = "REPRO_BACKEND"
 MEASURE_DISPATCH_ENV_VAR = "REPRO_MEASURE_DISPATCH"
 
 #: Recognised backend names, in the order the docs present them.
-BACKENDS = ("serial", "multiprocessing", "shm")
+#: ``remote`` fans tasks out to socket-connected worker hosts (see
+#: :mod:`repro.runtime.remote`); its factory registers lazily so the
+#: single-machine path never imports the socket layer.
+BACKENDS = ("serial", "multiprocessing", "shm", "remote")
 
 #: How many times one task may be dispatched before a dying worker is
 #: treated as the task's fault and the run fails.
@@ -542,22 +546,48 @@ class SharedMemoryExecutor(MultiprocessingExecutor):
     uses_shared_memory = True
 
 
-_BACKEND_CLASSES = {
-    "serial": SerialExecutor,
-    "multiprocessing": MultiprocessingExecutor,
-    "shm": SharedMemoryExecutor,
-}
+# Backend registry: name -> factory(jobs, hosts).  The in-process
+# backends register here eagerly; the remote backend registers itself
+# when repro.runtime.remote is imported (get_executor imports it
+# lazily on first use so the socket layer stays off the single-machine
+# import path).
+_BACKEND_FACTORIES: Dict[str, Callable[..., Executor]] = {}
+
+
+def register_backend(name: str,
+                     factory: Callable[..., Executor]) -> None:
+    """Register an executor factory for a :data:`BACKENDS` name.
+
+    ``factory(jobs, hosts)`` must return an :class:`Executor`;
+    backends that ignore one of the arguments simply drop it.
+    """
+    _BACKEND_FACTORIES[str(name)] = factory
+
+
+register_backend("serial", lambda jobs, hosts: SerialExecutor())
+register_backend("multiprocessing",
+                 lambda jobs, hosts: MultiprocessingExecutor(jobs))
+register_backend("shm", lambda jobs, hosts: SharedMemoryExecutor(jobs))
 
 
 def get_executor(jobs: Optional[int] = None,
-                 backend: Optional[str] = None) -> Executor:
+                 backend: Optional[str] = None,
+                 hosts: Optional[str] = None) -> Executor:
     """Build the executor for a job count and optional backend name
-    (see :func:`resolve_jobs` / :func:`resolve_backend`)."""
+    (see :func:`resolve_jobs` / :func:`resolve_backend`).
+
+    ``hosts`` (a ``host:port,host:port`` list, or the ``REPRO_HOSTS``
+    environment variable) only matters to the ``remote`` backend; when
+    ``hosts`` is given without an explicit backend, remote is chosen.
+    """
     resolved = resolve_jobs(jobs)
     chosen = resolve_backend(backend)
+    if chosen is None and hosts:
+        chosen = "remote"
     if chosen is None:
         chosen = "serial" if resolved <= 1 else "multiprocessing"
-    cls = _BACKEND_CLASSES[chosen]
-    if cls is SerialExecutor:
-        return SerialExecutor()
-    return cls(resolved)
+    if chosen not in _BACKEND_FACTORIES:
+        # The remote factory lives in its own module; importing it
+        # registers the backend (see module docstring there).
+        from . import remote  # noqa: F401  (import-for-registration)
+    return _BACKEND_FACTORIES[chosen](resolved, hosts)

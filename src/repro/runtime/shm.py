@@ -233,6 +233,26 @@ class SharedArena:
         return sum(self._nbytes.get(name, 0) for name in self._blocks)
 
     # -- lifecycle -----------------------------------------------------
+    def drop(self, ref: Union["ArrayRef", str]) -> None:
+        """Unlink and release one block early (LRU eviction in the
+        remote worker host's blob store).  Same-process views created
+        before the drop stay valid — POSIX keeps unlinked memory alive
+        while mapped — but new attaches by name will fail."""
+        name = ref.name if isinstance(ref, ArrayRef) else str(ref)
+        block = self._blocks.pop(name, None)
+        self._nbytes.pop(name, None)
+        if block is None:
+            return
+        _OWNED_BLOCKS.pop(name, None)
+        try:
+            block.unlink()
+        except FileNotFoundError:
+            pass
+        try:
+            block.close()
+        except BufferError:
+            pass  # dangling view; memory reclaimed when it dies
+
     def close(self) -> None:
         """Unlink and release every block (idempotent)."""
         if self._blocks and STATE.enabled:

@@ -23,6 +23,7 @@ Entry points: ``python -m repro.serve serve --model name=path`` and
 ``python -m repro.serve request --port P --model name``.
 """
 
+from .cache import DEFAULT_CACHE_CAPACITY, ResultCache
 from .client import ServeClient, ServeError, ServeOverloadedError
 from .coalescer import AdmissionQueue, PendingRequest, run_generation_batch
 from .daemon import ServeConfig, ServeDaemon, install_signal_handlers
@@ -36,6 +37,7 @@ from .protocol import (
 from .registry import LoadedModel, ModelRegistry
 
 __all__ = [
+    "ResultCache", "DEFAULT_CACHE_CAPACITY",
     "ServeClient", "ServeError", "ServeOverloadedError",
     "AdmissionQueue", "PendingRequest", "run_generation_batch",
     "ServeConfig", "ServeDaemon", "install_signal_handlers",

@@ -24,6 +24,7 @@ from typing import Dict, Optional
 from .. import telemetry
 from ..datasets.io import write_flow_csv, write_packet_csv
 from ..datasets.records import FlowTrace
+from .cache import DEFAULT_CACHE_CAPACITY
 from .client import ServeClient
 from .daemon import ServeConfig, ServeDaemon, install_signal_handlers
 
@@ -49,7 +50,8 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch,
         queue_limit=args.queue_limit,
         retry_after=args.retry_after,
-        jobs=args.jobs, backend=args.backend,
+        jobs=args.jobs, backend=args.backend, hosts=args.hosts,
+        cache_capacity=args.cache_capacity,
     )
     models = _parse_models(args.model)
     if not models:
@@ -132,7 +134,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--retry-after", type=float, default=0.25)
     serve.add_argument("--jobs", type=int, default=None)
     serve.add_argument("--backend", default=None,
-                       choices=["serial", "multiprocessing", "shm"])
+                       choices=["serial", "multiprocessing", "shm",
+                                "remote"])
+    serve.add_argument("--hosts", default=None, metavar="HOST:PORT,...",
+                       help="remote worker hosts (default: REPRO_HOSTS "
+                            "env var); implies --backend remote")
+    serve.add_argument("--cache-capacity", type=int,
+                       default=DEFAULT_CACHE_CAPACITY, metavar="N",
+                       help="cross-request result cache size in "
+                            "responses (0 disables)")
     serve.add_argument("--journal", default=None, metavar="DIR",
                        help="stream a telemetry run journal under DIR")
     serve.set_defaults(func=_cmd_serve)

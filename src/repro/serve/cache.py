@@ -1,0 +1,100 @@
+"""Cross-request result cache for the serve daemon.
+
+Generation is deterministic in ``(model, derived client seed,
+n_records)`` — the coalescer's determinism contract — so two requests
+with the same key are guaranteed the same response, and the second one
+never needs to touch the executor.  The cache key also carries the
+registry's **model generation**: reloading a model archive bumps the
+generation (see :class:`~repro.serve.registry.ModelRegistry`), so every
+cached response from the old weights misses naturally — reload bypass
+without any invalidation hook.
+
+The cache is a bounded LRU owned by the scheduler thread; a lock keeps
+the ``stats`` view coherent for handler threads snapshotting metrics.
+Hits/misses land on the daemon counters ``serve.cache.hits`` /
+``serve.cache.misses`` (wired in, like the registry's, as injected
+counter instruments).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_CAPACITY"]
+
+#: Default LRU capacity, in responses.  Serve responses are full trace
+#: payloads, so the default stays small; ``cache_capacity=0`` in
+#: :class:`~repro.serve.daemon.ServeConfig` disables caching entirely.
+DEFAULT_CACHE_CAPACITY = 32
+
+#: (model name, model generation, derived client seed, n_records)
+CacheKey = Tuple[str, int, int, int]
+
+
+class ResultCache:
+    """Bounded LRU of completed ``generate`` responses."""
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY,
+                 hit_counter=None, miss_counter=None):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1 "
+                             "(use no cache at all to disable)")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, Dict[str, Any]]" = \
+            OrderedDict()
+        self._hit_counter = hit_counter
+        self._miss_counter = miss_counter
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key_for(info: Dict[str, Any]) -> CacheKey:
+        """Build the key from an ``_open_session`` info dict."""
+        return (str(info["model"]), int(info["model_generation"]),
+                int(info["derived_seed"]), int(info["n_records"]))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[Dict[str, Any]]:
+        """The cached response for ``key`` (marked ``cached: True``),
+        or None.  Counts a hit or a miss either way."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                if self._miss_counter is not None:
+                    self._miss_counter.inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if self._hit_counter is not None:
+                self._hit_counter.inc()
+            response = dict(entry)
+        response["cached"] = True
+        return response
+
+    def put(self, key: CacheKey, response: Dict[str, Any]) -> None:
+        """Insert one successful response (stored un-flagged; ``get``
+        stamps ``cached`` on the way out)."""
+        with self._lock:
+            self._entries[key] = dict(response)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"size": len(self._entries), "capacity": self.capacity,
+                    "hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions}

@@ -178,7 +178,7 @@ def _open_session(pending: PendingRequest, registry: ModelRegistry
 
 def run_generation_batch(batch: List[PendingRequest],
                          registry: ModelRegistry,
-                         executor) -> Dict[str, Any]:
+                         executor, cache=None) -> Dict[str, Any]:
     """Drive every request's session to completion on one executor.
 
     Rounds run in lockstep across sessions: the union of all live
@@ -187,8 +187,17 @@ def run_generation_batch(batch: List[PendingRequest],
     request is answered — validation failures and degenerate-generator
     exhaustion become ``error`` responses, one bad request never takes
     the batch down.  Returns batch stats for the daemon's counters.
+
+    With a :class:`~repro.serve.cache.ResultCache`, a request whose
+    ``(model, model generation, derived seed, n_records)`` key has a
+    cached response is answered straight from the cache (flagged
+    ``cached: True``) without planning a session; successful fresh
+    responses are inserted on the way out.  The generation component
+    of the key makes a model reload bypass stale entries for free.
     """
     sessions: List[Tuple[PendingRequest, GenerateSession, Dict[str, Any]]] = []
+    cache_hits = 0
+    cached_records = 0
     for pending in batch:
         try:
             session, info = _open_session(pending, registry)
@@ -197,11 +206,19 @@ def run_generation_batch(batch: List[PendingRequest],
         if session is None:
             pending.complete(error_response(**info))
             continue
+        if cache is not None:
+            cached = cache.get(cache.key_for(info))
+            if cached is not None:
+                cache_hits += 1
+                cached_records += int(cached.get("records", 0))
+                pending.complete(cached)
+                continue
         sessions.append((pending, session, info))
 
     stats = {
         "requests": len(batch),
         "generate_requests": len(sessions),
+        "cache_hits": cache_hits,
         "executor_calls": 0,
         "tasks": 0,
         "planned_flows": 0,
@@ -243,15 +260,19 @@ def run_generation_batch(batch: List[PendingRequest],
             pending.complete(error_response(str(exc), **info))
             continue
         produced += len(trace)
-        pending.complete(ok_response(
+        response = ok_response(
             trace=trace_to_payload(trace),
             records=len(trace),
             rounds=len(session.rounds_log),
             **info,
-        ))
-    stats["records"] = produced
+        )
+        if cache is not None:
+            cache.put(cache.key_for(info), response)
+        pending.complete(response)
+    stats["records"] = produced + cached_records
     emit_event("serve_batch", requests=stats["requests"],
                generate_requests=stats["generate_requests"],
+               cache_hits=cache_hits,
                executor_calls=stats["executor_calls"],
                tasks=stats["tasks"], records=produced)
     return stats

@@ -43,6 +43,7 @@ from typing import Any, Dict, Optional, Tuple
 from .. import telemetry
 from ..runtime.executor import get_executor
 from ..telemetry.metrics import MetricsRegistry, metrics_snapshot
+from .cache import DEFAULT_CACHE_CAPACITY, ResultCache
 from .coalescer import AdmissionQueue, PendingRequest, run_generation_batch
 from .protocol import (
     PROTOCOL_VERSION,
@@ -79,6 +80,8 @@ _COUNTERS = (
     "serve.planned_flows",
     "serve.registry.hits",
     "serve.registry.misses",
+    "serve.cache.hits",
+    "serve.cache.misses",
 )
 _GAUGES = ("serve.queue.depth",)
 
@@ -102,6 +105,14 @@ class ServeConfig:
     retry_after: float = 0.25
     jobs: Optional[int] = None
     backend: Optional[str] = None
+    # Remote-backend worker hosts ('host:port,host:port'; None falls
+    # back to REPRO_HOSTS).  Setting hosts without a backend selects
+    # the remote backend.
+    hosts: Optional[str] = None
+    # Cross-request result cache capacity in responses (0 disables).
+    # Keyed on (model, model generation, derived seed, n_records), so
+    # a model reload bypasses stale entries via the generation bump.
+    cache_capacity: int = DEFAULT_CACHE_CAPACITY
     drain_timeout: float = 30.0
 
 
@@ -179,6 +190,11 @@ class ServeDaemon:
         )
         for name, path in (models or {}).items():
             self.registry.register(name, path)
+        self.cache = (ResultCache(
+            self.config.cache_capacity,
+            hit_counter=self._stats.counter("serve.cache.hits"),
+            miss_counter=self._stats.counter("serve.cache.misses"),
+        ) if self.config.cache_capacity > 0 else None)
         self.queue = AdmissionQueue(self.config.queue_limit)
         #: Test hook: clear to hold the scheduler *before* it runs a
         #: batch (requests pile up so queue-full paths can be staged
@@ -200,7 +216,9 @@ class ServeDaemon:
         """Bind, spawn server + scheduler threads, start accepting."""
         if self._server is not None:
             raise RuntimeError("daemon already started")
-        self._executor = get_executor(self.config.jobs, self.config.backend)
+        self._executor = get_executor(self.config.jobs,
+                                      self.config.backend,
+                                      self.config.hosts)
         self._server = _ServeServer(
             (self.config.host, self.config.port), _Handler)
         self._server.serve_daemon = self
@@ -335,6 +353,7 @@ class ServeDaemon:
             serve=serve,
             process=process,
             registry=self.registry.stats(),
+            cache=self.cache.stats() if self.cache is not None else None,
             queue_depth=self.queue.depth,
             uptime_seconds=self.uptime(),
             version=PROTOCOL_VERSION,
@@ -369,7 +388,7 @@ class ServeDaemon:
     def _run_batch(self, batch) -> None:
         try:
             stats = run_generation_batch(batch, self.registry,
-                                         self._executor)
+                                         self._executor, self.cache)
         except Exception as exc:
             # A failed batch answers every request; the daemon lives on.
             for pending in batch:

@@ -37,7 +37,7 @@ from contextlib import contextmanager as _contextmanager
 from typing import Any, Dict, Optional
 
 from . import spans as _spans
-from .journal import RunJournal, load_journal
+from .journal import RunJournal, load_journal, load_journals
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -63,6 +63,7 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "RunJournal",
     "load_journal",
+    "load_journals",
     "Span",
     "span",
     "set_task",

@@ -18,11 +18,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     rep = sub.add_parser(
-        "report", help="summarize a run journal (events.jsonl)")
+        "report", help="summarize one run journal, or merge several "
+                       "shards (e.g. coordinator + remote-host "
+                       "journals) into one summary")
     rep.add_argument(
-        "journal", nargs="?",
+        "journal", nargs="*",
         help="events.jsonl file, a run directory, or a journal base "
-             "directory (newest run is picked)")
+             "directory (newest run is picked); pass several paths to "
+             "merge a distributed run's shards on their timestamps")
     rep.add_argument("--format", choices=("text", "json"), default="text",
                      help="output format (default: text)")
     rep.add_argument("--top", type=int, default=10, metavar="N",
@@ -31,7 +34,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--diff", nargs=2, metavar=("A", "B"),
         help="compare two journals (A = baseline, B = candidate): epoch "
              "timings, cache hit-rate counters, accept/reject tallies, "
-             "and the DP epsilon ledger")
+             "and the DP epsilon ledger; each side may be a "
+             "comma-separated shard list, merged before diffing")
     rep.add_argument(
         "--fail-on-regression", type=float, metavar="PCT",
         help="with --diff: exit 3 if any metric in B is worse than A by "
@@ -41,21 +45,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         if args.fail_on_regression is not None and args.diff is None:
             parser.error("--fail-on-regression requires --diff")
-        if args.diff is not None and args.journal is not None:
+        if args.diff is not None and args.journal:
             parser.error("--diff takes its journals as A B, not a "
                          "positional argument")
-        if args.diff is None and args.journal is None:
+        if args.diff is None and not args.journal:
             parser.error("journal path required (or use --diff A B)")
         try:
             if args.diff is not None:
+                # Each side may be 'path' or 'shard,shard,...'.
+                side_a = [p for p in args.diff[0].split(",") if p]
+                side_b = [p for p in args.diff[1].split(",") if p]
                 text, regressed = diff_report(
-                    args.diff[0], args.diff[1], output_format=args.format,
+                    side_a, side_b, output_format=args.format,
                     fail_on_regression=args.fail_on_regression)
                 print(text)
                 if regressed and args.fail_on_regression is not None:
                     return 3
                 return 0
-            print(report(args.journal, output_format=args.format,
+            print(report(args.journal
+                         if len(args.journal) > 1 else args.journal[0],
+                         output_format=args.format,
                          top_spans=args.top))
         except FileNotFoundError as exc:
             print(f"error: {exc}", file=sys.stderr)

@@ -26,7 +26,8 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
-__all__ = ["RunJournal", "load_journal", "EVENTS_FILENAME", "META_FILENAME"]
+__all__ = ["RunJournal", "load_journal", "load_journals",
+           "EVENTS_FILENAME", "META_FILENAME"]
 
 EVENTS_FILENAME = "events.jsonl"
 META_FILENAME = "meta.json"
@@ -142,3 +143,43 @@ def load_journal(path) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
             except json.JSONDecodeError:
                 continue  # torn final line from a killed run
     return meta, events
+
+
+def load_journals(paths) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Load and merge one or more journal shards into a single
+    ``(meta, events)`` view.
+
+    A distributed run leaves several journals — the coordinator's plus
+    one shard per remote worker host (``remote_worker --journal``).
+    Each path resolves exactly like :func:`load_journal` (events file,
+    run directory, or base directory → newest run); the merged event
+    stream is ordered by wall-clock ``ts`` (a stable sort, so each
+    shard's internal order survives ties), and every event already
+    carries its own ``run_id``, so provenance is never lost in the
+    merge.  A single path degenerates to :func:`load_journal`.
+
+    The merged meta keeps the first shard's fields and adds ``shards``
+    (each shard's meta) plus a combined ``run_id`` so report renderings
+    show every contributing run.
+    """
+    paths = list(paths)
+    if not paths:
+        raise ValueError("load_journals needs at least one journal path")
+    if len(paths) == 1:
+        return load_journal(paths[0])
+    metas: List[Dict[str, Any]] = []
+    events: List[Dict[str, Any]] = []
+    for path in paths:
+        meta, shard_events = load_journal(path)
+        metas.append(meta)
+        events.extend(shard_events)
+    events.sort(key=lambda event: event.get("ts", 0.0))
+    run_ids = []
+    for meta in metas:
+        run_id = meta.get("run_id")
+        if run_id is not None and run_id not in run_ids:
+            run_ids.append(run_id)
+    merged: Dict[str, Any] = dict(metas[0])
+    merged["run_id"] = "+".join(str(r) for r in run_ids) or None
+    merged["shards"] = metas
+    return merged, events

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from .journal import load_journal
+from .journal import load_journals
 from .metrics import metrics_snapshot
 
 __all__ = ["summarize", "render_text", "report",
@@ -263,9 +263,22 @@ def render_text(summary: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _as_paths(path_or_paths) -> List[Any]:
+    """One journal path or a sequence of shard paths -> list of paths."""
+    if isinstance(path_or_paths, (list, tuple)):
+        return list(path_or_paths)
+    return [path_or_paths]
+
+
 def report(path, output_format: str = "text", top_spans: int = 10) -> str:
-    """Load a journal and render its summary as text or JSON."""
-    meta, events = load_journal(path)
+    """Render a summary of one journal — or of several shards merged.
+
+    ``path`` may be a single journal path or a list of them (the
+    coordinator's journal plus per-host shards from a distributed run);
+    multiple paths are merged by :func:`~repro.telemetry.journal.
+    load_journals` with events interleaved on ``ts``.
+    """
+    meta, events = load_journals(_as_paths(path))
     summary = summarize(meta, events, top_spans=top_spans)
     if output_format == "json":
         return json.dumps(summary, indent=2)
@@ -509,9 +522,13 @@ def render_diff_text(diff: Dict[str, Any]) -> str:
 def diff_report(path_a, path_b, output_format: str = "text",
                 fail_on_regression: Optional[float] = None
                 ) -> Tuple[str, bool]:
-    """Diff two journals; returns (rendering, has_regressions)."""
-    meta_a, events_a = load_journal(path_a)
-    meta_b, events_b = load_journal(path_b)
+    """Diff two journals; returns (rendering, has_regressions).
+
+    Either side may be a list of shard paths (merged before
+    summarizing), so distributed runs diff exactly like local ones.
+    """
+    meta_a, events_a = load_journals(_as_paths(path_a))
+    meta_b, events_b = load_journals(_as_paths(path_b))
     diff = diff_summaries(
         summarize(meta_a, events_a), summarize(meta_b, events_b),
         fail_on_regression=fail_on_regression)

@@ -1,0 +1,16 @@
+"""Positive fixture: exactly one `task-statelessness` finding.
+
+A manifest that carries a live shared-memory arena cannot cross the
+wire: it would pickle a process-local handle, and its repr poisons the
+content hash that blob dedup keys on.
+"""
+
+from dataclasses import dataclass
+
+from repro.runtime.shm import SharedArena
+
+
+@dataclass(frozen=True)
+class BrokenManifest:
+    content_hash: str
+    arena: SharedArena

@@ -1,0 +1,16 @@
+"""Negative fixture: a wire manifest built only from hash-stable data."""
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.runtime.serialization import BlobManifest
+
+
+@dataclass(frozen=True)
+class CleanManifest:
+    kind: str
+    shape: Tuple[int, ...]
+    dtype: str
+    blob: Optional[BlobManifest]
+    arrays: Dict[str, BlobManifest]
+    byte_count: int

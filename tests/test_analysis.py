@@ -42,6 +42,8 @@ RULE_CASES = {
     "determinism": ("determinism", "src/repro/core/fixture.py"),
     "shm_hygiene": ("shm-hygiene", "src/repro/core/fixture.py"),
     "task_statelessness": ("task-statelessness", "src/repro/core/fixture.py"),
+    "manifest_statelessness": ("task-statelessness",
+                               "src/repro/core/fixture.py"),
     "numerical_stability": ("numerical-stability",
                             "src/repro/metrics/fixture.py"),
     "api_hygiene": ("api-hygiene", "src/repro/core/fixture.py"),

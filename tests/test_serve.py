@@ -26,6 +26,7 @@ from repro.serve import (
     ModelRegistry,
     PROTOCOL_VERSION,
     ProtocolError,
+    ResultCache,
     ServeClient,
     ServeConfig,
     ServeDaemon,
@@ -443,6 +444,103 @@ class TestShutdown:
         response = daemon.handle_request(
             {"op": "generate", "model": "ugr16", "n_records": 5})
         assert response["status"] == "overloaded"
+
+
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def _info(self, **overrides):
+        info = {"model": "ugr16", "model_generation": 1,
+                "derived_seed": 42, "n_records": 10}
+        info.update(overrides)
+        return info
+
+    def test_hit_is_flagged_and_copied(self):
+        cache = ResultCache(capacity=4)
+        key = ResultCache.key_for(self._info())
+        assert cache.get(key) is None  # cold miss
+        cache.put(key, {"status": "ok", "records": [1, 2]})
+        hit = cache.get(key)
+        assert hit["cached"] is True
+        hit["records"].clear()  # shallow copy: top-level key is fresh
+        assert cache.get(key)["status"] == "ok"
+        assert cache.stats() == {"size": 1, "capacity": 4, "hits": 2,
+                                 "misses": 1, "evictions": 0}
+
+    def test_generation_bump_bypasses_stale_entries(self):
+        cache = ResultCache(capacity=4)
+        cache.put(ResultCache.key_for(self._info()), {"status": "ok"})
+        reloaded = ResultCache.key_for(self._info(model_generation=2))
+        assert cache.get(reloaded) is None
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        keys = [ResultCache.key_for(self._info(derived_seed=s))
+                for s in range(3)]
+        for key in keys:
+            cache.put(key, {"seed": key[2]})
+        assert cache.get(keys[0]) is None  # evicted
+        assert cache.get(keys[2])["seed"] == 2
+        assert cache.stats()["evictions"] == 1
+
+    def test_counters_injected(self):
+        hits, misses = [], []
+
+        class Probe:
+            def __init__(self, sink):
+                self.sink = sink
+
+            def inc(self, n=1):
+                self.sink.append(n)
+
+        cache = ResultCache(capacity=2, hit_counter=Probe(hits),
+                            miss_counter=Probe(misses))
+        key = ResultCache.key_for(self._info())
+        cache.get(key)
+        cache.put(key, {})
+        cache.get(key)
+        assert (len(hits), len(misses)) == (1, 1)
+
+    def test_capacity_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+
+class TestDaemonCache:
+    def test_repeat_request_is_served_from_cache(self, daemon):
+        with ServeClient(*daemon.address, client_id="c") as client:
+            first = client.generate(25, "ugr16", seed=7)
+            meta1 = dict(client.last_response)
+            second = client.generate(25, "ugr16", seed=7)
+            meta2 = dict(client.last_response)
+            different = client.generate(26, "ugr16", seed=7)
+            metrics = client.metrics()
+        assert meta1.get("cached") is None
+        assert meta2.get("cached") is True
+        assert len(different) == 26
+        for name, column in first._columns().items():
+            assert np.array_equal(second._columns()[name], column), name
+        counters = metrics["serve"]["counters"]
+        assert counters["serve.cache.hits"] == 1.0
+        assert counters["serve.cache.misses"] == 2.0
+        cache = metrics["cache"]
+        assert cache["size"] == 2 and cache["hits"] == 1
+
+    def test_cache_disabled_by_config(self, model_path):
+        config = ServeConfig(coalesce_window=0.01, jobs=1,
+                             cache_capacity=0)
+        daemon = ServeDaemon(models={"ugr16": model_path}, config=config)
+        daemon.start()
+        try:
+            assert daemon.cache is None
+            with ServeClient(*daemon.address, client_id="d") as client:
+                client.generate(10, "ugr16", seed=1)
+                client.generate(10, "ugr16", seed=1)
+                meta = dict(client.last_response)
+                metrics = client.metrics()
+            assert meta.get("cached") is None
+            assert metrics["cache"] is None
+        finally:
+            daemon.shutdown()
 
 
 # ----------------------------------------------------------------------

@@ -31,6 +31,7 @@ from repro.telemetry import (
     begin_worker_task,
     export_worker_payload,
     load_journal,
+    load_journals,
     span,
 )
 from repro.telemetry import spans as spans_mod
@@ -307,6 +308,77 @@ class TestJournal:
             capture_output=True, text=True, env=env, cwd=cwd)
         assert proc.returncode == 0, proc.stderr
         assert "no regressions" in proc.stdout
+
+
+class TestJournalMerge:
+    """Multi-shard loading: a distributed run's coordinator + per-host
+    journals merge into one ts-ordered view."""
+
+    def _shard(self, base, run_id, events):
+        with telemetry.session(journal_dir=base, run_id=run_id):
+            for event_type, fields in events:
+                telemetry.emit_event(event_type, **fields)
+
+    def test_merge_orders_by_ts_and_keeps_provenance(self, tmp_path):
+        self._shard(tmp_path / "coord", "coord",
+                    [("remote_map", {"tasks": 4})])
+        self._shard(tmp_path / "host", "host-a",
+                    [("host_task", {"task": 0})])
+        meta, events = load_journals(
+            [tmp_path / "coord", tmp_path / "host"])
+        assert meta["run_id"] == "coord+host-a"
+        assert [m["run_id"] for m in meta["shards"]] == ["coord", "host-a"]
+        stamps = [e["ts"] for e in events]
+        assert stamps == sorted(stamps)
+        by_run = {e["run_id"] for e in events}
+        assert by_run == {"coord", "host-a"}
+
+    def test_single_path_degenerates_to_load_journal(self, tmp_path):
+        self._shard(tmp_path, "solo", [("custom", {"x": 1})])
+        merged = load_journals([tmp_path])
+        assert merged == load_journal(tmp_path)
+        assert "shards" not in merged[0]
+
+    def test_empty_path_list_rejected(self):
+        with pytest.raises(ValueError):
+            load_journals([])
+
+    def test_report_merges_positional_shards(self, tmp_path):
+        self._shard(tmp_path / "coord", "coord",
+                    [("worker_retry", {"task": 1, "attempt": 1, "pid": 7})])
+        self._shard(tmp_path / "host", "host-a",
+                    [("worker_retry", {"task": 2, "attempt": 1, "pid": 9})])
+        summary = summarize(*load_journals(
+            [tmp_path / "coord", tmp_path / "host"]))
+        assert len(summary["worker_retries"]) == 2
+        cwd = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.telemetry", "report",
+             str(tmp_path / "coord"), str(tmp_path / "host"),
+             "--format", "json"],
+            capture_output=True, text=True,
+            env={**os.environ, "PYTHONPATH": "src"}, cwd=cwd)
+        assert proc.returncode == 0, proc.stderr
+        merged = json.loads(proc.stdout)
+        assert merged["run"]["run_id"] == "coord+host-a"
+
+    def test_diff_accepts_comma_separated_shards(self, tmp_path):
+        for side in ("a", "b"):
+            self._shard(tmp_path / side / "main", f"{side}-main",
+                        [("chunk_result", {"chunk": 0, "mode": "train",
+                                           "train_seconds": 1.0,
+                                           "epochs": 2})])
+            self._shard(tmp_path / side / "host", f"{side}-host",
+                        [("host_task", {"task": 0})])
+        cwd = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.telemetry", "report", "--diff",
+             f"{tmp_path}/a/main,{tmp_path}/a/host",
+             f"{tmp_path}/b/main,{tmp_path}/b/host",
+             "--fail-on-regression", "10"],
+            capture_output=True, text=True,
+            env={**os.environ, "PYTHONPATH": "src"}, cwd=cwd)
+        assert proc.returncode == 0, proc.stderr
 
 
 # ----------------------------------------------------------------------
